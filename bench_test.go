@@ -1,0 +1,242 @@
+// Benchmark harness: one testing.B target per reconstructed table and
+// figure (T1–T6, F1–F4). The printed rows/series themselves come from
+// cmd/nlibench, which shares this package's code paths; the benchmarks
+// here measure the cost of regenerating each experiment and keep every
+// experiment wired into `go test -bench`.
+package nli
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/keyword"
+	"repro/internal/pattern"
+	"repro/internal/schema"
+	"repro/internal/semindex"
+	"repro/internal/sql"
+)
+
+// BenchmarkT1Accuracy regenerates the per-class accuracy table for the
+// full pipeline over all domains.
+func BenchmarkT1Accuracy(b *testing.B) {
+	type domainSetup struct {
+		engine *core.Engine
+		db     *DB
+		cases  []bench.Case
+	}
+	var setups []domainSetup
+	for _, name := range dataset.Names() {
+		db, err := dataset.ByName(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		setups = append(setups, domainSetup{
+			engine: core.NewEngine(db, core.DefaultOptions()),
+			db:     db,
+			cases:  bench.Corpus(name),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range setups {
+			rep, err := bench.Evaluate(s.engine, s.db, s.cases)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Overall.Accuracy() < 0.85 {
+				b.Fatalf("accuracy regressed: %.2f", rep.Overall.Accuracy())
+			}
+		}
+	}
+}
+
+// BenchmarkT2Ablation regenerates the lexicon-ablation table.
+func BenchmarkT2Ablation(b *testing.B) {
+	cases := bench.AllCases()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT3Ambiguity regenerates the ambiguity statistics.
+func BenchmarkT3Ambiguity(b *testing.B) {
+	db := dataset.University(1)
+	e := core.NewEngine(db, core.DefaultOptions())
+	cases := bench.Corpus("university")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.EvaluateAmbiguity(e, db, cases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Top1 == 0 {
+			b.Fatal("ranking regressed")
+		}
+	}
+}
+
+// BenchmarkT4Dialogue regenerates the dialogue-resolution table.
+func BenchmarkT4Dialogue(b *testing.B) {
+	cases := bench.DialogueCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcomes, err := bench.EvaluateDialogue(core.DefaultOptions(), cases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outcomes) != len(cases) {
+			b.Fatal("missing outcomes")
+		}
+	}
+}
+
+// BenchmarkT5Typos regenerates the misspelling-robustness row with
+// correction enabled at distance 2.
+func BenchmarkT5Typos(b *testing.B) {
+	db := dataset.University(1)
+	opts := core.DefaultOptions()
+	opts.SpellMaxDist = 2
+	e := core.NewEngine(db, opts)
+	typoed := bench.TypoCases(bench.Corpus("university"), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Evaluate(e, db, typoed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT6Baselines regenerates the baseline comparison.
+func BenchmarkT6Baselines(b *testing.B) {
+	db := dataset.University(1)
+	idx := semindex.Build(db, semindex.DefaultOptions())
+	systems := []bench.System{
+		keyword.New(idx),
+		pattern.New(idx),
+		core.NewEngine(db, core.DefaultOptions()),
+	}
+	cases := bench.Corpus("university")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range systems {
+			if _, err := bench.Evaluate(sys, db, cases); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkF1Stages measures the staged pipeline on representative
+// questions (the figure plots the per-stage split from core.Timings).
+func BenchmarkF1Stages(b *testing.B) {
+	e := core.NewEngine(dataset.University(1), core.DefaultOptions())
+	questions := []string{
+		"show all students",
+		"students with gpa over 3.5",
+		"average salary of instructors in Computer Science per department",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := bench.Profile(e, questions); p.N != len(questions) {
+			b.Fatalf("only %d/%d questions answered", p.N, len(questions))
+		}
+	}
+}
+
+// BenchmarkF2Scale measures generated-SQL execution versus data size
+// with the index access path on and off.
+func BenchmarkF2Scale(b *testing.B) {
+	point := sql.MustParse("SELECT name FROM students WHERE id = 7")
+	for _, scale := range []int{1, 4, 16, 64} {
+		indexed := dataset.University(scale)
+		scan := dataset.University(scale)
+		scan.DropAllIndexes()
+		b.Run(fmt.Sprintf("rows=%d/indexed", indexed.TotalRows()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Query(indexed, point); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rows=%d/scan", scan.TotalRows()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Query(scan, point); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF3Coverage regenerates the grammar coverage curve.
+func BenchmarkF3Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.CoverageCurve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[len(points)-1].Fraction() < 0.9 {
+			b.Fatal("final coverage regressed")
+		}
+	}
+}
+
+// BenchmarkF4JoinPath measures Steiner join-path search on a chain
+// schema at increasing terminal counts.
+func BenchmarkF4JoinPath(b *testing.B) {
+	var tables []*schema.Table
+	var fks []schema.ForeignKey
+	const chain = 16
+	for i := 0; i < chain; i++ {
+		tables = append(tables, &schema.Table{
+			Name:       fmt.Sprintf("t%d", i),
+			PrimaryKey: "id",
+			Columns: []schema.Column{
+				{Name: "id", Type: schema.Int},
+				{Name: "next_id", Type: schema.Int},
+			},
+		})
+		if i > 0 {
+			fks = append(fks, schema.ForeignKey{
+				Table: fmt.Sprintf("t%d", i-1), Column: "next_id",
+				RefTable: fmt.Sprintf("t%d", i), RefColumn: "id",
+			})
+		}
+	}
+	s := schema.MustNew("chain", tables, fks)
+	for _, k := range []int{2, 4, 8} {
+		terms := make([]string, k)
+		for i := 0; i < k; i++ {
+			terms[i] = fmt.Sprintf("t%d", i*2)
+		}
+		b.Run(fmt.Sprintf("terminals=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.JoinPath(terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAskEndToEnd is the headline single-question latency.
+func BenchmarkAskEndToEnd(b *testing.B) {
+	eng, err := Open("university", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Ask("students with gpa over 3.5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command nli is the interactive natural-language query console: load
+// a bundled dataset, type English questions, get the interpretation
+// echo, the generated SQL, the result table and an English answer.
+//
+// Usage:
+//
+//	nli [-dataset university|geo|sales] [-scale N] [-sql] [-explain]
+//
+// Inside the console:
+//
+//	.help            show commands
+//	.reset           clear the conversational context
+//	.sql             toggle SQL display
+//	.explain         toggle interpretation ranking display
+//	.quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	nli "repro"
+)
+
+func main() {
+	datasetName := flag.String("dataset", "university", "dataset to load: university, geo or sales")
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	schemaFile := flag.String("schema", "", "CREATE TABLE file for user data (overrides -dataset)")
+	dataDir := flag.String("data", "", "directory of <table>.csv files (with -schema)")
+	showSQL := flag.Bool("sql", true, "print the generated SQL")
+	explain := flag.Bool("explain", false, "print all ranked interpretations")
+	flag.Parse()
+
+	var eng *nli.Engine
+	var err error
+	loaded := *datasetName
+	if *schemaFile != "" {
+		eng, err = nli.OpenDir(*schemaFile, *dataDir)
+		loaded = *schemaFile
+	} else {
+		eng, err = nli.Open(*datasetName, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nli:", err)
+		os.Exit(1)
+	}
+	conv := eng.NewConversation()
+
+	fmt.Printf("nli — natural language interface to %q (%d rows)\n",
+		loaded, eng.DB.TotalRows())
+	fmt.Println(`Ask questions in English; ".help" lists commands.`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("nlq> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(".reset  clear conversation context\n.sql    toggle SQL display\n.explain toggle interpretation display\n.quit   exit")
+			continue
+		case line == ".reset":
+			conv.Reset()
+			fmt.Println("context cleared")
+			continue
+		case line == ".sql":
+			*showSQL = !*showSQL
+			fmt.Println("sql display:", onOff(*showSQL))
+			continue
+		case line == ".explain":
+			*explain = !*explain
+			fmt.Println("explain display:", onOff(*explain))
+			continue
+		}
+
+		ans, followUp, err := conv.Ask(line)
+		if err != nil {
+			fmt.Println("  sorry:", err)
+			continue
+		}
+		tag := ""
+		if followUp {
+			tag = " (refining the previous question)"
+		}
+		fmt.Printf("  I understood: %s%s\n", ans.Paraphrase, tag)
+		if *explain {
+			for i, r := range ans.Ranked {
+				fmt.Printf("    #%d %s\n", i+1, r.Explain())
+			}
+		}
+		if *showSQL {
+			fmt.Printf("  SQL: %s\n", ans.SQL)
+		}
+		fmt.Println(indent(nli.FormatResult(ans.Result), "  "))
+		fmt.Printf("  %s\n", ans.Response)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

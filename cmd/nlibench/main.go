@@ -1,0 +1,409 @@
+// Command nlibench regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md § 3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/keyword"
+	"repro/internal/pattern"
+	"repro/internal/schema"
+	"repro/internal/semindex"
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F4) or 'all'")
+	flag.Parse()
+
+	experiments := map[string]func() error{
+		"T1": expT1, "T2": expT2, "T3": expT3, "T4": expT4,
+		"T5": expT5, "T6": expT6,
+		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
+	}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4"}
+
+	run := func(id string) {
+		f, ok := experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nlibench: unknown experiment %q (have %v)\n", id, order)
+			os.Exit(2)
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "nlibench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range order {
+			run(id)
+		}
+		return
+	}
+	run(strings.ToUpper(*exp))
+}
+
+func header(id, title string) {
+	fmt.Printf("\n================ %s: %s ================\n", id, title)
+}
+
+func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
+
+// systemsFor builds the three evaluated systems over one domain.
+func systemsFor(db *store.DB) []bench.System {
+	idx := semindex.Build(db, semindex.DefaultOptions())
+	return []bench.System{
+		keyword.New(idx),
+		pattern.New(idx),
+		core.NewEngine(db, core.DefaultOptions()),
+	}
+}
+
+// expT1 prints end-to-end accuracy by construct class per domain and
+// system.
+func expT1() error {
+	header("T1", "end-to-end accuracy by construct class")
+	for _, domain := range dataset.Names() {
+		db, err := dataset.ByName(domain, 1)
+		if err != nil {
+			return err
+		}
+		cases := bench.Corpus(domain)
+		reports := map[string]*bench.Report{}
+		var names []string
+		for _, sys := range systemsFor(db) {
+			rep, err := bench.Evaluate(sys, db, cases)
+			if err != nil {
+				return err
+			}
+			reports[sys.Name()] = rep
+			names = append(names, sys.Name())
+		}
+		fmt.Printf("\n-- domain: %s (%d questions) --\n", domain, len(cases))
+		fmt.Printf("%-14s", "class")
+		for _, n := range names {
+			fmt.Printf("  %8s", n)
+		}
+		fmt.Println()
+		for _, class := range bench.Classes() {
+			if reports[names[0]].Stats[class] == nil {
+				continue
+			}
+			fmt.Printf("%-14s", class)
+			for _, n := range names {
+				s := reports[n].Stats[class]
+				fmt.Printf("  %8s", pct(s.Accuracy()))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-14s", "OVERALL")
+		for _, n := range names {
+			fmt.Printf("  %8s", pct(reports[n].Overall.Accuracy()))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// expT2 prints the lexicon-ablation table.
+func expT2() error {
+	header("T2", "lexicon ablation (full corpus, all domains)")
+	results, err := bench.RunAblation(bench.AllCases())
+	if err != nil {
+		return err
+	}
+	full := results[0].Report.Overall.Accuracy()
+	fmt.Printf("%-14s  %8s  %8s  %8s\n", "variant", "accuracy", "answered", "delta")
+	for _, r := range results {
+		o := r.Report.Overall
+		fmt.Printf("%-14s  %8s  %8s  %+7.1f\n",
+			r.Name, pct(o.Accuracy()),
+			pct(float64(o.Answered)/float64(o.Total)),
+			100*(o.Accuracy()-full))
+	}
+	return nil
+}
+
+// expT3 prints interpretation-ambiguity statistics.
+func expT3() error {
+	header("T3", "interpretation ambiguity and ranking")
+	fmt.Printf("%-12s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+		"domain", "parsed", "avg#", "=1", "=2", "=3", ">=4", "top-1", "top-3")
+	for _, domain := range dataset.Names() {
+		db, err := dataset.ByName(domain, 1)
+		if err != nil {
+			return err
+		}
+		e := core.NewEngine(db, core.DefaultOptions())
+		rep, err := bench.EvaluateAmbiguity(e, db, bench.Corpus(domain))
+		if err != nil {
+			return err
+		}
+		p := float64(rep.Parsed)
+		fmt.Printf("%-12s %7d %7.2f %7s %7s %7s %7s %7s %7s\n",
+			domain, rep.Parsed, rep.AvgInterpretations(),
+			pct(float64(rep.Hist[0])/p), pct(float64(rep.Hist[1])/p),
+			pct(float64(rep.Hist[2])/p), pct(float64(rep.Hist[3])/p),
+			pct(float64(rep.Top1)/p), pct(float64(rep.Top3)/p))
+	}
+	return nil
+}
+
+// expT4 prints dialogue/ellipsis resolution accuracy per class.
+func expT4() error {
+	header("T4", "dialogue context resolution")
+	outcomes, err := bench.EvaluateDialogue(core.DefaultOptions(), bench.DialogueCorpus())
+	if err != nil {
+		return err
+	}
+	type agg struct{ total, correct int }
+	byClass := map[string]*agg{}
+	var order []string
+	for _, o := range outcomes {
+		a := byClass[o.Case.Class]
+		if a == nil {
+			a = &agg{}
+			byClass[o.Case.Class] = a
+			order = append(order, o.Case.Class)
+		}
+		a.total++
+		if o.Correct {
+			a.correct++
+		}
+	}
+	fmt.Printf("%-18s %7s %7s\n", "ellipsis class", "cases", "correct")
+	total, correct := 0, 0
+	for _, cl := range order {
+		a := byClass[cl]
+		fmt.Printf("%-18s %7d %7s\n", cl, a.total, pct(float64(a.correct)/float64(a.total)))
+		total += a.total
+		correct += a.correct
+	}
+	fmt.Printf("%-18s %7d %7s\n", "OVERALL", total, pct(float64(correct)/float64(total)))
+	return nil
+}
+
+// expT5 prints misspelling robustness.
+func expT5() error {
+	header("T5", "misspelling robustness (university corpus)")
+	db, err := dataset.ByName("university", 1)
+	if err != nil {
+		return err
+	}
+	cases := bench.Corpus("university")
+	variants := []struct {
+		name string
+		dist int
+	}{
+		{"correction off", 0},
+		{"correction d=1", 1},
+		{"correction d=2", 2},
+	}
+	fmt.Printf("%-16s %8s %8s %8s\n", "configuration", "0 typos", "1 typo", "2 typos")
+	for _, v := range variants {
+		opts := core.DefaultOptions()
+		opts.SpellMaxDist = v.dist
+		e := core.NewEngine(db, opts)
+		fmt.Printf("%-16s", v.name)
+		for _, n := range []int{0, 1, 2} {
+			cs := cases
+			if n > 0 {
+				cs = bench.TypoCases(cases, n)
+			}
+			rep, err := bench.Evaluate(e, db, cs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %8s", pct(rep.Overall.Accuracy()))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// expT6 prints the baseline comparison detail (coverage and precision).
+func expT6() error {
+	header("T6", "baseline comparison: coverage and precision")
+	fmt.Printf("%-12s %-9s %9s %9s %9s\n", "domain", "system", "answered", "accuracy", "precision")
+	for _, domain := range dataset.Names() {
+		db, err := dataset.ByName(domain, 1)
+		if err != nil {
+			return err
+		}
+		for _, sys := range systemsFor(db) {
+			rep, err := bench.Evaluate(sys, db, bench.Corpus(domain))
+			if err != nil {
+				return err
+			}
+			o := rep.Overall
+			fmt.Printf("%-12s %-9s %9s %9s %9s\n", domain, sys.Name(),
+				pct(float64(o.Answered)/float64(o.Total)),
+				pct(o.Accuracy()), pct(o.Precision()))
+		}
+	}
+	return nil
+}
+
+// expF1 prints the per-stage latency profile by question complexity.
+func expF1() error {
+	header("F1", "per-stage latency (averages)")
+	db, err := dataset.ByName("university", 1)
+	if err != nil {
+		return err
+	}
+	e := core.NewEngine(db, core.DefaultOptions())
+	sets := []struct {
+		name      string
+		questions []string
+	}{
+		{"short", []string{
+			"show all students", "list the departments", "how many courses",
+		}},
+		{"medium", []string{
+			"students with gpa over 3.5",
+			"how many students are in Computer Science",
+			"instructors with salary between 50000 and 70000",
+		}},
+		{"long", []string{
+			"average salary of instructors in Computer Science per department",
+			"students whose gpa is higher than the average gpa of History students",
+			"show the name and salary of instructors in the Computer Science department",
+		}},
+	}
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"set", "correct", "annotate", "parse", "rank", "generate", "execute", "total")
+	for _, set := range sets {
+		// Warm up, then profile.
+		bench.Profile(e, set.questions)
+		p := bench.Profile(e, set.questions)
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n", set.name,
+			p.Correct, p.Annotate, p.Parse, p.Rank, p.Generate, p.Execute, p.Total)
+	}
+	return nil
+}
+
+// expF2 prints execution scalability: time vs rows, indexed vs scan.
+func expF2() error {
+	header("F2", "execution time vs data size (indexed vs scan)")
+	point := sql.MustParse("SELECT name FROM students WHERE id = 7")
+	aggJoin := sql.MustParse("SELECT d.name, AVG(i.salary) FROM instructors i, departments d " +
+		"WHERE i.dept_id = d.dept_id GROUP BY d.name")
+	fmt.Printf("%7s %9s | %12s %12s | %12s\n",
+		"scale", "rows", "point(idx)", "point(scan)", "agg-join")
+	for _, scale := range []int{1, 4, 16, 64} {
+		db := dataset.University(scale)
+		rows := db.TotalRows()
+		idxTime := timeQuery(db, point, 50)
+		db.DropAllIndexes()
+		scanTime := timeQuery(db, point, 50)
+		if err := db.BuildPrimaryIndexes(); err != nil {
+			return err
+		}
+		aggTime := timeQuery(db, aggJoin, 10)
+		fmt.Printf("%7d %9d | %12s %12s | %12s\n", scale, rows, idxTime, scanTime, aggTime)
+	}
+	return nil
+}
+
+func timeQuery(db *store.DB, stmt *sql.SelectStmt, reps int) time.Duration {
+	// Warm-up run.
+	if _, err := exec.Query(db, stmt); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := exec.Query(db, stmt); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// expF3 prints the grammar coverage growth curve.
+func expF3() error {
+	header("F3", "corpus coverage vs enabled rule groups")
+	points, err := bench.CoverageCurve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-14s %9s %9s\n", "groups", "added", "answered", "coverage")
+	for _, p := range points {
+		fmt.Printf("%-6d %-14s %6d/%-3d %9s\n", p.Groups, "+"+p.Name, p.Answered, p.Total, pct(p.Fraction()))
+	}
+	return nil
+}
+
+// expF4 prints join-path (Steiner approximation) search cost.
+func expF4() error {
+	header("F4", "join-path search cost vs terminals (chain schema)")
+	for _, chain := range []int{8, 16, 32} {
+		s := chainSchema(chain)
+		fmt.Printf("\n-- chain of %d tables --\n", chain)
+		fmt.Printf("%10s %12s %8s\n", "terminals", "time/op", "joins")
+		for _, k := range []int{2, 3, 4, 6, 8} {
+			if k > chain {
+				continue
+			}
+			// Terminals every other table: connecting k terminals needs
+			// ~2(k-1) joins through the skipped link tables.
+			terms := make([]string, k)
+			for i := 0; i < k; i++ {
+				pos := i * 2
+				if pos >= chain {
+					pos = chain - 1
+				}
+				terms[i] = fmt.Sprintf("t%d", pos)
+			}
+			reps := 2000
+			start := time.Now()
+			var joins int
+			for i := 0; i < reps; i++ {
+				plan, err := s.JoinPath(terms)
+				if err != nil {
+					return err
+				}
+				joins = len(plan.Conds)
+			}
+			per := time.Since(start) / time.Duration(reps)
+			fmt.Printf("%10d %12s %8d\n", k, per, joins)
+		}
+	}
+	return nil
+}
+
+// chainSchema builds t0 -> t1 -> ... -> t(n-1) linked by foreign keys.
+func chainSchema(n int) *schema.Schema {
+	var tables []*schema.Table
+	var fks []schema.ForeignKey
+	for i := 0; i < n; i++ {
+		tables = append(tables, &schema.Table{
+			Name:       fmt.Sprintf("t%d", i),
+			PrimaryKey: "id",
+			Columns: []schema.Column{
+				{Name: "id", Type: schema.Int},
+				{Name: "next_id", Type: schema.Int},
+			},
+		})
+		if i > 0 {
+			fks = append(fks, schema.ForeignKey{
+				Table: fmt.Sprintf("t%d", i-1), Column: "next_id",
+				RefTable: fmt.Sprintf("t%d", i), RefColumn: "id",
+			})
+		}
+	}
+	return schema.MustNew("chain", tables, fks)
+}

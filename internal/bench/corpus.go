@@ -1,0 +1,400 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// instructorName / studentName / customerName mirror the dataset
+// generators' name indexing so corpus questions reference people that
+// actually exist.
+func instructorName(i int) string { return dataset.PersonName(i) }
+func studentName(i int) string    { return dataset.PersonName(i + 500) }
+func customerName(i int) string   { return dataset.PersonName(i + 200) }
+
+// Corpus returns the gold cases for one domain (at dataset scale 1).
+func Corpus(domain string) []Case {
+	switch domain {
+	case "university":
+		return universityCases()
+	case "geo":
+		return geoCases()
+	case "sales":
+		return salesCases()
+	}
+	return nil
+}
+
+// AllCases returns every case across the three domains.
+func AllCases() []Case {
+	var out []Case
+	for _, d := range dataset.Names() {
+		out = append(out, Corpus(d)...)
+	}
+	return out
+}
+
+func mk(domain string, n int, class Class, question, gold string) Case {
+	return Case{
+		ID:       fmt.Sprintf("%s-%s-%d", domain[:1], class, n),
+		Domain:   domain,
+		Class:    class,
+		Question: question,
+		Gold:     gold,
+	}
+}
+
+func universityCases() []Case {
+	d := "university"
+	i0 := instructorName(0)
+	i1 := instructorName(1)
+	s0 := studentName(0)
+	return []Case{
+		// -- selection --
+		mk(d, 1, ClassSelect, "show all students",
+			"SELECT name FROM students"),
+		mk(d, 2, ClassSelect, "list the departments",
+			"SELECT name FROM departments"),
+		mk(d, 3, ClassSelect, "display all instructors",
+			"SELECT name FROM instructors"),
+		mk(d, 4, ClassSelect, "list all courses",
+			"SELECT title FROM courses"),
+		mk(d, 5, ClassSelect, fmt.Sprintf("instructors named %q", i0),
+			fmt.Sprintf("SELECT name FROM instructors WHERE name = '%s'", i0)),
+		mk(d, 6, ClassSelect, "show me all the professors",
+			"SELECT name FROM instructors"),
+
+		// -- projection --
+		mk(d, 1, ClassProject, "what is the budget of the Physics department",
+			"SELECT budget FROM departments WHERE name = 'Physics'"),
+		mk(d, 2, ClassProject, fmt.Sprintf("what is the gpa of %s", s0),
+			fmt.Sprintf("SELECT gpa FROM students WHERE name = '%s'", s0)),
+		mk(d, 3, ClassProject, "show the name and salary of instructors in Computer Science",
+			"SELECT i.name, i.salary FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id AND d.name = 'Computer Science'"),
+		mk(d, 4, ClassProject, fmt.Sprintf("what is the salary of %s", i1),
+			fmt.Sprintf("SELECT salary FROM instructors WHERE name = '%s'", i1)),
+		mk(d, 5, ClassProject, "the building of the History department",
+			"SELECT building FROM departments WHERE name = 'History'"),
+
+		// -- join --
+		mk(d, 1, ClassJoin, "students in Computer Science",
+			"SELECT s.name FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id AND d.name = 'Computer Science'"),
+		mk(d, 2, ClassJoin, "instructors in the History department",
+			"SELECT i.name FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id AND d.name = 'History'"),
+		mk(d, 3, ClassJoin, "courses in Biology",
+			"SELECT c.title FROM courses c, departments d "+
+				"WHERE c.dept_id = d.dept_id AND d.name = 'Biology'"),
+		mk(d, 4, ClassJoin, "students in Watson Hall",
+			"SELECT s.name FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id AND d.building = 'Watson Hall'"),
+		mk(d, 5, ClassJoin, "which students are in Mathematics",
+			"SELECT s.name FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id AND d.name = 'Mathematics'"),
+
+		// -- aggregation --
+		mk(d, 1, ClassAgg, "how many students",
+			"SELECT COUNT(*) FROM students"),
+		mk(d, 2, ClassAgg, "how many instructors are in Physics",
+			"SELECT COUNT(DISTINCT i.id) FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id AND d.name = 'Physics'"),
+		mk(d, 3, ClassAgg, "the number of courses in Economics",
+			"SELECT COUNT(DISTINCT c.course_id) FROM courses c, departments d "+
+				"WHERE c.dept_id = d.dept_id AND d.name = 'Economics'"),
+		mk(d, 4, ClassAgg, "what is the average salary of instructors",
+			"SELECT AVG(salary) FROM instructors"),
+		mk(d, 5, ClassAgg, "total budget of departments",
+			"SELECT SUM(budget) FROM departments"),
+		mk(d, 6, ClassAgg, "the maximum gpa of students",
+			"SELECT MAX(gpa) FROM students"),
+		mk(d, 7, ClassAgg, "average salary of instructors in Computer Science",
+			"SELECT AVG(i.salary) FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id AND d.name = 'Computer Science'"),
+
+		// -- grouping --
+		mk(d, 1, ClassGroup, "average salary of instructors per department",
+			"SELECT d.name, AVG(i.salary) FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id GROUP BY d.name"),
+		mk(d, 2, ClassGroup, "how many students per department",
+			"SELECT d.name, COUNT(DISTINCT s.id) FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id GROUP BY d.name"),
+		mk(d, 3, ClassGroup, "average gpa of students by department",
+			"SELECT d.name, AVG(s.gpa) FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id GROUP BY d.name"),
+		mk(d, 4, ClassGroup, "total credits of courses per department",
+			"SELECT d.name, SUM(c.credits) FROM courses c, departments d "+
+				"WHERE c.dept_id = d.dept_id GROUP BY d.name"),
+
+		// -- superlative --
+		mk(d, 1, ClassSuper, "which instructor has the highest salary",
+			"SELECT name FROM instructors ORDER BY salary DESC LIMIT 1"),
+		mk(d, 2, ClassSuper, "which student has the highest gpa",
+			"SELECT name FROM students ORDER BY gpa DESC LIMIT 1"),
+		mk(d, 3, ClassSuper, "which department has the most students",
+			"SELECT d.name FROM departments d, students s WHERE s.dept_id = d.dept_id "+
+				"GROUP BY d.dept_id, d.name ORDER BY COUNT(DISTINCT s.id) DESC LIMIT 1"),
+		mk(d, 4, ClassSuper, "top 3 instructors by salary",
+			"SELECT name FROM instructors ORDER BY salary DESC LIMIT 3"),
+		mk(d, 5, ClassSuper, "which instructor in Physics has the highest salary",
+			"SELECT i.name FROM instructors i, departments d WHERE i.dept_id = d.dept_id "+
+				"AND d.name = 'Physics' ORDER BY i.salary DESC LIMIT 1"),
+
+		// -- comparative --
+		mk(d, 1, ClassCompare, "students with gpa over 3.5",
+			"SELECT name FROM students WHERE gpa > 3.5"),
+		mk(d, 2, ClassCompare, "instructors with salary under 60000",
+			"SELECT name FROM instructors WHERE salary < 60000"),
+		mk(d, 3, ClassCompare, "instructors with salary between 50000 and 70000",
+			"SELECT name FROM instructors WHERE salary BETWEEN 50000 AND 70000"),
+		mk(d, 4, ClassCompare, "students with gpa at least 3.9",
+			"SELECT name FROM students WHERE gpa >= 3.9"),
+		mk(d, 5, ClassCompare, "departments with budget over 1.5 million",
+			"SELECT name FROM departments WHERE budget > 1500000"),
+		mk(d, 6, ClassCompare, "students in year 2",
+			"SELECT name FROM students WHERE year = 2"),
+
+		// -- negation --
+		mk(d, 1, ClassNegate, "students not in History",
+			"SELECT s.name FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id AND d.name <> 'History'"),
+		mk(d, 2, ClassNegate, "instructors not in Computer Science",
+			"SELECT i.name FROM instructors i, departments d "+
+				"WHERE i.dept_id = d.dept_id AND d.name <> 'Computer Science'"),
+		// True universal negation — the rule-based reading ("has some
+		// non-F grade") differs, so this case measures the known
+		// negation weakness.
+		mk(d, 3, ClassNegate, "students without grade F",
+			"SELECT name FROM students WHERE id NOT IN "+
+				"(SELECT student_id FROM enrollments WHERE grade = 'F')"),
+
+		// -- nested --
+		mk(d, 1, ClassNested, "instructors with salary above the average",
+			"SELECT name FROM instructors WHERE salary > (SELECT AVG(salary) FROM instructors)"),
+		mk(d, 2, ClassNested, "students with gpa above the average",
+			"SELECT name FROM students WHERE gpa > (SELECT AVG(gpa) FROM students)"),
+		mk(d, 3, ClassNested, "students whose gpa is higher than the average gpa of History students",
+			"SELECT name FROM students WHERE gpa > (SELECT AVG(s.gpa) FROM students s, departments d "+
+				"WHERE s.dept_id = d.dept_id AND d.name = 'History')"),
+
+		// -- disjunction --
+		mk(d, 1, ClassIn, "students in Computer Science or Mathematics",
+			"SELECT s.name FROM students s, departments d WHERE s.dept_id = d.dept_id "+
+				"AND d.name IN ('Computer Science', 'Mathematics')"),
+		mk(d, 2, ClassIn, "how many students in Computer Science or Mathematics",
+			"SELECT COUNT(DISTINCT s.id) FROM students s, departments d WHERE s.dept_id = d.dept_id "+
+				"AND d.name IN ('Computer Science', 'Mathematics')"),
+	}
+}
+
+func geoCases() []Case {
+	d := "geo"
+	return []Case{
+		// -- selection --
+		mk(d, 1, ClassSelect, "list all countries",
+			"SELECT name FROM countries"),
+		mk(d, 2, ClassSelect, "show all rivers",
+			"SELECT name FROM rivers"),
+		mk(d, 3, ClassSelect, "countries in Europe",
+			"SELECT name FROM countries WHERE continent = 'Europe'"),
+		mk(d, 4, ClassSelect, "list the mountains",
+			"SELECT name FROM mountains"),
+
+		// -- projection --
+		mk(d, 1, ClassProject, "what is the population of China",
+			"SELECT population FROM countries WHERE name = 'China'"),
+		mk(d, 2, ClassProject, "the area of Canada",
+			"SELECT area FROM countries WHERE name = 'Canada'"),
+		mk(d, 3, ClassProject, "what is the height of Aoraki",
+			"SELECT height FROM mountains WHERE name = 'Aoraki'"),
+		mk(d, 4, ClassProject, "the length of the Nile",
+			"SELECT length FROM rivers WHERE name = 'Nile'"),
+		mk(d, 5, ClassProject, "the gdp of Germany",
+			"SELECT gdp FROM countries WHERE name = 'Germany'"),
+
+		// -- join --
+		mk(d, 1, ClassJoin, "cities in Brazil",
+			"SELECT c.name FROM cities c, countries k "+
+				"WHERE c.country_id = k.country_id AND k.name = 'Brazil'"),
+		mk(d, 2, ClassJoin, "rivers in China",
+			"SELECT r.name FROM rivers r, countries k "+
+				"WHERE r.country_id = k.country_id AND k.name = 'China'"),
+		mk(d, 3, ClassJoin, "mountains in Japan",
+			"SELECT m.name FROM mountains m, countries k "+
+				"WHERE m.country_id = k.country_id AND k.name = 'Japan'"),
+		mk(d, 4, ClassJoin, "cities in Africa",
+			"SELECT c.name FROM cities c, countries k "+
+				"WHERE c.country_id = k.country_id AND k.continent = 'Africa'"),
+
+		// -- aggregation --
+		mk(d, 1, ClassAgg, "how many countries",
+			"SELECT COUNT(*) FROM countries"),
+		mk(d, 2, ClassAgg, "how many cities in China",
+			"SELECT COUNT(DISTINCT c.city_id) FROM cities c, countries k "+
+				"WHERE c.country_id = k.country_id AND k.name = 'China'"),
+		mk(d, 3, ClassAgg, "the number of countries in Africa",
+			"SELECT COUNT(*) FROM countries WHERE continent = 'Africa'"),
+		mk(d, 4, ClassAgg, "average population of countries",
+			"SELECT AVG(population) FROM countries"),
+		mk(d, 5, ClassAgg, "total area of countries in Europe",
+			"SELECT SUM(area) FROM countries WHERE continent = 'Europe'"),
+
+		// -- grouping --
+		mk(d, 1, ClassGroup, "total population of countries per continent",
+			"SELECT continent, SUM(population) FROM countries GROUP BY continent"),
+		mk(d, 2, ClassGroup, "how many countries per continent",
+			"SELECT continent, COUNT(*) FROM countries GROUP BY continent"),
+		mk(d, 3, ClassGroup, "average gdp of countries by continent",
+			"SELECT continent, AVG(gdp) FROM countries GROUP BY continent"),
+
+		// -- superlative --
+		mk(d, 1, ClassSuper, "which country has the largest area",
+			"SELECT name FROM countries ORDER BY area DESC LIMIT 1"),
+		mk(d, 2, ClassSuper, "the longest river",
+			"SELECT name FROM rivers ORDER BY length DESC LIMIT 1"),
+		mk(d, 3, ClassSuper, "the tallest mountain",
+			"SELECT name FROM mountains ORDER BY height DESC LIMIT 1"),
+		mk(d, 4, ClassSuper, "which city has the biggest population",
+			"SELECT name FROM cities ORDER BY population DESC LIMIT 1"),
+		mk(d, 5, ClassSuper, "top 3 countries by population",
+			"SELECT name FROM countries ORDER BY population DESC LIMIT 3"),
+		mk(d, 7, ClassSuper, "the largest country in Asia",
+			"SELECT name FROM countries WHERE continent = 'Asia' ORDER BY area DESC LIMIT 1"),
+		mk(d, 6, ClassSuper, "which country has the most cities",
+			"SELECT k.name FROM countries k, cities c WHERE c.country_id = k.country_id "+
+				"GROUP BY k.country_id, k.name ORDER BY COUNT(DISTINCT c.city_id) DESC LIMIT 1"),
+
+		// -- comparative --
+		mk(d, 1, ClassCompare, "countries with population over 100 million",
+			"SELECT name FROM countries WHERE population > 100000000"),
+		mk(d, 2, ClassCompare, "mountains with height above 6000",
+			"SELECT name FROM mountains WHERE height > 6000"),
+		mk(d, 3, ClassCompare, "rivers with length under 1000",
+			"SELECT name FROM rivers WHERE length < 1000"),
+		mk(d, 4, ClassCompare, "cities with population between 1000000 and 5000000",
+			"SELECT name FROM cities WHERE population BETWEEN 1000000 AND 5000000"),
+		mk(d, 5, ClassCompare, "countries with gdp over 2000",
+			"SELECT name FROM countries WHERE gdp > 2000"),
+
+		// -- negation --
+		mk(d, 1, ClassNegate, "countries not in Europe",
+			"SELECT name FROM countries WHERE continent <> 'Europe'"),
+		mk(d, 2, ClassNegate, "cities not in China",
+			"SELECT c.name FROM cities c, countries k "+
+				"WHERE c.country_id = k.country_id AND k.name <> 'China'"),
+
+		// -- nested --
+		mk(d, 1, ClassNested, "rivers longer than the Rhine",
+			"SELECT name FROM rivers WHERE length > (SELECT MAX(length) FROM rivers WHERE name = 'Rhine')"),
+		mk(d, 2, ClassNested, "countries with area above the average",
+			"SELECT name FROM countries WHERE area > (SELECT AVG(area) FROM countries)"),
+		mk(d, 3, ClassNested, "cities with population larger than Tokyo",
+			"SELECT name FROM cities WHERE population > (SELECT MAX(population) FROM cities WHERE name = 'Tokyo')"),
+		mk(d, 4, ClassNested, "mountains higher than Mont Blanc",
+			"SELECT name FROM mountains WHERE height > (SELECT MAX(height) FROM mountains WHERE name = 'Mont Blanc')"),
+
+		// -- disjunction --
+		mk(d, 1, ClassIn, "countries in Europe or Asia",
+			"SELECT name FROM countries WHERE continent IN ('Europe', 'Asia')"),
+		mk(d, 2, ClassIn, "total population of countries in Africa or Oceania",
+			"SELECT SUM(population) FROM countries WHERE continent IN ('Africa', 'Oceania')"),
+	}
+}
+
+func salesCases() []Case {
+	d := "sales"
+	c0 := customerName(0)
+	return []Case{
+		// -- selection --
+		mk(d, 1, ClassSelect, "list all products",
+			"SELECT name FROM products"),
+		mk(d, 2, ClassSelect, "show the customers",
+			"SELECT name FROM customers"),
+		mk(d, 3, ClassSelect, "products in Accessories",
+			"SELECT name FROM products WHERE category = 'Accessories'"),
+		mk(d, 4, ClassSelect, "list the regions",
+			"SELECT name FROM regions"),
+
+		// -- projection --
+		mk(d, 1, ClassProject, "what is the price of the Falcon Laptop",
+			"SELECT price FROM products WHERE name = 'Falcon Laptop'"),
+		mk(d, 2, ClassProject, "the category of the Ibis Server",
+			"SELECT category FROM products WHERE name = 'Ibis Server'"),
+		mk(d, 3, ClassProject, fmt.Sprintf("what is the segment of %s", c0),
+			fmt.Sprintf("SELECT segment FROM customers WHERE name = '%s'", c0)),
+
+		// -- join --
+		mk(d, 1, ClassJoin, "customers in the North region",
+			"SELECT c.name FROM customers c, regions r "+
+				"WHERE c.region_id = r.region_id AND r.name = 'North'"),
+		mk(d, 2, ClassJoin, fmt.Sprintf("orders from %s", c0),
+			fmt.Sprintf("SELECT o.order_id FROM orders o, customers c "+
+				"WHERE o.customer_id = c.customer_id AND c.name = '%s'", c0)),
+		mk(d, 3, ClassJoin, "customers in the East region",
+			"SELECT c.name FROM customers c, regions r "+
+				"WHERE c.region_id = r.region_id AND r.name = 'East'"),
+
+		// -- aggregation --
+		mk(d, 1, ClassAgg, "how many orders",
+			"SELECT COUNT(*) FROM orders"),
+		mk(d, 2, ClassAgg, "how many customers in the North region",
+			"SELECT COUNT(DISTINCT c.customer_id) FROM customers c, regions r "+
+				"WHERE c.region_id = r.region_id AND r.name = 'North'"),
+		mk(d, 3, ClassAgg, "average price of products",
+			"SELECT AVG(price) FROM products"),
+		mk(d, 4, ClassAgg, "how much revenue",
+			"SELECT SUM(amount) FROM order_items"),
+		mk(d, 5, ClassAgg, "the number of products in Computers",
+			"SELECT COUNT(*) FROM products WHERE category = 'Computers'"),
+
+		// -- grouping --
+		mk(d, 1, ClassGroup, "how many orders per year",
+			"SELECT year, COUNT(*) FROM orders GROUP BY year"),
+		mk(d, 2, ClassGroup, "average price of products per category",
+			"SELECT category, AVG(price) FROM products GROUP BY category"),
+		mk(d, 3, ClassGroup, "total amount of order items per region",
+			"SELECT r.name, SUM(oi.amount) FROM order_items oi, orders o, customers c, regions r "+
+				"WHERE oi.order_id = o.order_id AND o.customer_id = c.customer_id "+
+				"AND c.region_id = r.region_id GROUP BY r.name"),
+
+		// -- superlative --
+		mk(d, 1, ClassSuper, "which product has the highest price",
+			"SELECT name FROM products ORDER BY price DESC LIMIT 1"),
+		mk(d, 2, ClassSuper, "top 5 products by price",
+			"SELECT name FROM products ORDER BY price DESC LIMIT 5"),
+		mk(d, 3, ClassSuper, "which region has the most customers",
+			"SELECT r.name FROM regions r, customers c WHERE c.region_id = r.region_id "+
+				"GROUP BY r.region_id, r.name ORDER BY COUNT(DISTINCT c.customer_id) DESC LIMIT 1"),
+		mk(d, 4, ClassSuper, "the cheapest product",
+			"SELECT name FROM products ORDER BY price LIMIT 1"),
+
+		// -- comparative --
+		mk(d, 1, ClassCompare, "products with price over 500",
+			"SELECT name FROM products WHERE price > 500"),
+		mk(d, 2, ClassCompare, "products with price between 100 and 400",
+			"SELECT name FROM products WHERE price BETWEEN 100 AND 400"),
+		mk(d, 3, ClassCompare, "orders in year 2021",
+			"SELECT order_id FROM orders WHERE year = 2021"),
+		mk(d, 4, ClassCompare, "products with price under 100",
+			"SELECT name FROM products WHERE price < 100"),
+
+		// -- negation --
+		mk(d, 1, ClassNegate, "products not in Accessories",
+			"SELECT name FROM products WHERE category <> 'Accessories'"),
+		mk(d, 2, ClassNegate, "customers not in the North region",
+			"SELECT c.name FROM customers c, regions r "+
+				"WHERE c.region_id = r.region_id AND r.name <> 'North'"),
+
+		// -- nested --
+		mk(d, 1, ClassNested, "products with price above the average",
+			"SELECT name FROM products WHERE price > (SELECT AVG(price) FROM products)"),
+		mk(d, 2, ClassNested, "products cheaper than the Owl Monitor",
+			"SELECT name FROM products WHERE price < (SELECT MAX(price) FROM products WHERE name = 'Owl Monitor')"),
+
+		// -- disjunction --
+		mk(d, 1, ClassIn, "products in Accessories or Displays",
+			"SELECT name FROM products WHERE category IN ('Accessories', 'Displays')"),
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/grammar"
+	"repro/internal/store"
+)
+
+// CoveragePoint is one point on the coverage-growth curve (figure F3):
+// the fraction of the corpus the engine answers with the first k rule
+// groups enabled.
+type CoveragePoint struct {
+	Groups   int    // number of rule groups enabled
+	Name     string // name of the last group added
+	Answered int
+	Total    int
+}
+
+// Fraction returns the covered fraction.
+func (p CoveragePoint) Fraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Answered) / float64(p.Total)
+}
+
+// CoverageCurve sweeps grammar.GroupOrder cumulatively over the full
+// corpus, one engine per prefix.
+func CoverageCurve() ([]CoveragePoint, error) {
+	dbs := map[string]*store.DB{}
+	for _, name := range dataset.Names() {
+		db, err := dataset.ByName(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		dbs[name] = db
+	}
+	cases := AllCases()
+
+	var points []CoveragePoint
+	var groups grammar.GroupSet
+	for k, g := range grammar.GroupOrder {
+		groups |= g.Set
+		engines := map[string]*core.Engine{}
+		opts := core.DefaultOptions()
+		opts.Grammar = grammar.Options{Groups: groups}
+		for name, db := range dbs {
+			engines[name] = core.NewEngine(db, opts)
+		}
+		p := CoveragePoint{Groups: k + 1, Name: g.Name, Total: len(cases)}
+		for _, cs := range cases {
+			if _, err := engines[cs.Domain].Translate(cs.Question); err == nil {
+				p.Answered++
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// AblationResult is one row of the lexicon-ablation table (T2).
+type AblationResult struct {
+	Name   string
+	Report *Report
+}
+
+// AblationVariants returns the engine options for the T2 ablations.
+func AblationVariants() []struct {
+	Name string
+	Opts core.Options
+} {
+	full := core.DefaultOptions()
+
+	noSyn := core.DefaultOptions()
+	noSyn.Index.Synonyms = false
+
+	noStem := core.DefaultOptions()
+	noStem.Index.Stems = false
+
+	noVal := core.DefaultOptions()
+	noVal.Index.Values = false
+
+	noSpell := core.DefaultOptions()
+	noSpell.SpellMaxDist = 0
+
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"full", full},
+		{"-synonyms", noSyn},
+		{"-stemming", noStem},
+		{"-value-index", noVal},
+		{"-spelling", noSpell},
+	}
+}
+
+// RunAblation evaluates every T2 variant over all domains and returns
+// one merged report per variant.
+func RunAblation(cases []Case) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, v := range AblationVariants() {
+		merged := &Report{System: v.Name, Stats: map[Class]*ClassStats{}}
+		for _, name := range dataset.Names() {
+			db, err := dataset.ByName(name, 1)
+			if err != nil {
+				return nil, err
+			}
+			e := core.NewEngine(db, v.Opts)
+			var domainCases []Case
+			for _, cs := range cases {
+				if cs.Domain == name {
+					domainCases = append(domainCases, cs)
+				}
+			}
+			rep, err := Evaluate(e, db, domainCases)
+			if err != nil {
+				return nil, err
+			}
+			mergeReports(merged, rep)
+		}
+		out = append(out, AblationResult{Name: v.Name, Report: merged})
+	}
+	return out, nil
+}
+
+func mergeReports(dst, src *Report) {
+	for class, s := range src.Stats {
+		d := dst.Stats[class]
+		if d == nil {
+			d = &ClassStats{}
+			dst.Stats[class] = d
+		}
+		d.Total += s.Total
+		d.Answered += s.Answered
+		d.Correct += s.Correct
+	}
+	dst.Overall.Total += src.Overall.Total
+	dst.Overall.Answered += src.Overall.Answered
+	dst.Overall.Correct += src.Overall.Correct
+	dst.Outcomes = append(dst.Outcomes, src.Outcomes...)
+}

@@ -1,0 +1,113 @@
+package bench
+
+import "fmt"
+
+// paraphrases maps base case IDs to alternative phrasings with the
+// same gold SQL. They measure robustness to linguistic variation —
+// every variant becomes its own corpus case (IDs suffixed -pN).
+var paraphrases = map[string][]string{
+	// university
+	"u-select-1": {
+		"list all the students",
+		"give me the students",
+		"which students are there",
+	},
+	"u-select-2": {
+		"show the departments",
+		"what are the departments",
+	},
+	"u-select-3": {
+		"show me all the teachers",
+		"list every lecturer",
+	},
+	"u-join-1": {
+		"which students are in Computer Science",
+		"students who are enrolled in Computer Science",
+		"students from the Computer Science department",
+	},
+	"u-aggregate-1": {
+		"what is the number of students",
+		"count of students",
+	},
+	"u-aggregate-4": {
+		"the mean salary of instructors",
+		"average pay of professors",
+	},
+	"u-group-1": {
+		"average salary of instructors for each department",
+		"mean salary of instructors by department",
+	},
+	"u-superlative-1": {
+		"which professor has the biggest salary",
+		"who has the highest salary",
+	},
+	"u-comparative-1": {
+		"students whose gpa is above 3.5",
+		"students whose gpa exceeds 3.5",
+		"students whose grade point average is greater than 3.5",
+	},
+	"u-nested-1": {
+		"instructors earning more than the average salary",
+		"instructors whose salary is above the mean",
+	},
+
+	// geo
+	"g-select-1": {
+		"show every nation",
+		"list the countries",
+	},
+	"g-project-1": {
+		"how many people live in China",
+	},
+	"g-join-1": {
+		"which cities are in Brazil",
+		"show the towns in Brazil",
+	},
+	"g-superlative-2": {
+		"which river is the longest",
+		"what is the longest river",
+	},
+	"g-comparative-1": {
+		"nations with population above 100 million",
+		"countries whose population exceeds 100 million",
+	},
+
+	// sales
+	"s-select-1": {
+		"show every product",
+		"list the items",
+	},
+	"s-aggregate-3": {
+		"mean price of products",
+		"what is the average cost of products",
+	},
+	"s-superlative-1": {
+		"what is the most expensive product",
+		"which item has the biggest price",
+	},
+}
+
+// WithParaphrases expands cases by their registered paraphrase
+// variants (appended after the originals, same class and gold).
+func WithParaphrases(cases []Case) []Case {
+	out := append([]Case(nil), cases...)
+	for _, base := range cases {
+		for i, alt := range paraphrases[base.ID] {
+			v := base
+			v.ID = fmt.Sprintf("%s-p%d", base.ID, i+1)
+			v.Question = alt
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ParaphraseCount reports how many variants the registry holds for the
+// given cases.
+func ParaphraseCount(cases []Case) int {
+	n := 0
+	for _, c := range cases {
+		n += len(paraphrases[c.ID])
+	}
+	return n
+}

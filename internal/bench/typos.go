@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"unicode"
+)
+
+// InjectTypos returns the question with one word mutated by n edits,
+// deterministically (seeded). Eligible words are alphabetic and at
+// least five letters, so function words and numbers survive; quoted
+// spans are left intact. The three mutation kinds — adjacent
+// transposition, letter deletion, letter doubling — model the dominant
+// typing errors that spelling correction (T5) must repair. n edits in
+// one word require correction distance n, which is what T5 sweeps.
+func InjectTypos(question string, n int, seed int64) string {
+	if n <= 0 {
+		return question
+	}
+	r := rand.New(rand.NewSource(seed))
+	words := strings.Fields(question)
+
+	var eligible []int
+	inQuote := false
+	for i, w := range words {
+		quotes := strings.Count(w, `"`)
+		wasInQuote := inQuote
+		if quotes%2 == 1 {
+			inQuote = !inQuote
+		}
+		if wasInQuote || quotes > 0 {
+			continue
+		}
+		if len([]rune(w)) >= 5 && isAlpha(w) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return question
+	}
+	// Mutate one word n times (compounding edits).
+	idx := eligible[r.Intn(len(eligible))]
+	for k := 0; k < n; k++ {
+		words[idx] = mutate(words[idx], r)
+	}
+	return strings.Join(words, " ")
+}
+
+func isAlpha(w string) bool {
+	for _, r := range w {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// mutate applies one typo to the interior of the word (first letter is
+// preserved, matching how typos distribute in practice and keeping the
+// Soundex fallback meaningful).
+func mutate(w string, r *rand.Rand) string {
+	runes := []rune(w)
+	if len(runes) < 3 {
+		return w
+	}
+	pos := 1 + r.Intn(len(runes)-2)
+	switch r.Intn(3) {
+	case 0: // adjacent transposition
+		runes[pos], runes[pos+1] = runes[pos+1], runes[pos]
+	case 1: // deletion
+		runes = append(runes[:pos], runes[pos+1:]...)
+	default: // doubling
+		runes = append(runes[:pos+1], append([]rune{runes[pos]}, runes[pos+1:]...)...)
+	}
+	return string(runes)
+}
+
+// TypoCases returns the corpus with n typos injected into every
+// question (ids suffixed), keyed deterministically per case.
+func TypoCases(cases []Case, n int) []Case {
+	out := make([]Case, len(cases))
+	for i, c := range cases {
+		seed := int64(0)
+		for _, b := range []byte(c.ID) {
+			seed = seed*131 + int64(b)
+		}
+		c.Question = InjectTypos(c.Question, n, seed)
+		c.ID = c.ID + "-typo"
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package chart is an Earley chart parser over context-free grammars —
+// the second parsing substrate of the repository. The production
+// pipeline uses the top-down combinator engine (internal/combinator)
+// because semantic grammars fit it naturally; this bottom-up engine
+// exists (a) as the classical alternative the era debated (ATN/top-down
+// vs chart/bottom-up), (b) to cross-validate the combinator engine:
+// property tests assert that both accept exactly the same token
+// sequences for grammars expressible in both, and (c) to parse
+// grammars with left recursion, which top-down combinators cannot.
+//
+// Symbols are plain strings; terminals are matched by a user predicate.
+package chart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is one production: Lhs -> Rhs[0] Rhs[1] ... (empty Rhs = ε).
+type Rule struct {
+	Lhs string
+	Rhs []string
+}
+
+func (r Rule) String() string {
+	if len(r.Rhs) == 0 {
+		return r.Lhs + " -> ε"
+	}
+	return r.Lhs + " -> " + strings.Join(r.Rhs, " ")
+}
+
+// Grammar is a set of rules with a start symbol. A symbol is a
+// nonterminal iff it appears on some left-hand side; everything else is
+// a terminal matched literally against token strings.
+type Grammar struct {
+	Start string
+	Rules []Rule
+
+	byLhs   map[string][]Rule
+	nonTerm map[string]bool
+	nullSet map[string]bool // memoized nullable nonterminals
+}
+
+// New compiles a grammar, validating that the start symbol has rules.
+func New(start string, rules []Rule) (*Grammar, error) {
+	g := &Grammar{Start: start, Rules: rules,
+		byLhs: map[string][]Rule{}, nonTerm: map[string]bool{}}
+	for _, r := range rules {
+		if r.Lhs == "" {
+			return nil, fmt.Errorf("chart: rule with empty left-hand side")
+		}
+		g.byLhs[r.Lhs] = append(g.byLhs[r.Lhs], r)
+		g.nonTerm[r.Lhs] = true
+	}
+	if !g.nonTerm[start] {
+		return nil, fmt.Errorf("chart: start symbol %q has no rules", start)
+	}
+	return g, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(start string, rules []Rule) *Grammar {
+	g, err := New(start, rules)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// IsNonterminal reports whether sym has productions.
+func (g *Grammar) IsNonterminal(sym string) bool { return g.nonTerm[sym] }
+
+// item is a dotted rule with an origin position.
+type item struct {
+	rule   int // index into g.Rules
+	dot    int
+	origin int
+}
+
+// state is one chart column: a set of items with insertion order.
+type column struct {
+	items []item
+	seen  map[item]bool
+}
+
+func (c *column) add(it item) bool {
+	if c.seen[it] {
+		return false
+	}
+	c.seen[it] = true
+	c.items = append(c.items, it)
+	return true
+}
+
+func newColumn() *column { return &column{seen: map[item]bool{}} }
+
+// Recognize reports whether the grammar derives exactly the given
+// token sequence (terminals matched by string equality).
+func (g *Grammar) Recognize(tokens []string) bool {
+	chart := g.parse(tokens)
+	final := chart[len(tokens)]
+	for _, it := range final.items {
+		r := g.Rules[it.rule]
+		if r.Lhs == g.Start && it.dot == len(r.Rhs) && it.origin == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// parse runs the Earley algorithm and returns the chart.
+func (g *Grammar) parse(tokens []string) []*column {
+	n := len(tokens)
+	chart := make([]*column, n+1)
+	for i := range chart {
+		chart[i] = newColumn()
+	}
+	for ri, r := range g.Rules {
+		if r.Lhs == g.Start {
+			chart[0].add(item{rule: ri, dot: 0, origin: 0})
+		}
+	}
+	for i := 0; i <= n; i++ {
+		col := chart[i]
+		for idx := 0; idx < len(col.items); idx++ {
+			it := col.items[idx]
+			r := g.Rules[it.rule]
+			if it.dot < len(r.Rhs) {
+				sym := r.Rhs[it.dot]
+				if g.nonTerm[sym] {
+					// Predict.
+					for ri, pr := range g.Rules {
+						if pr.Lhs == sym {
+							col.add(item{rule: ri, dot: 0, origin: i})
+						}
+					}
+					// Magic completion for nullable symbols (Aycock &
+					// Horspool): if sym is nullable, also advance.
+					if g.nullable(sym) {
+						col.add(item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+					}
+				} else if i < n && tokens[i] == sym {
+					// Scan.
+					chart[i+1].add(item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+				}
+			} else {
+				// Complete.
+				origin := chart[it.origin]
+				for _, parent := range origin.items {
+					pr := g.Rules[parent.rule]
+					if parent.dot < len(pr.Rhs) && pr.Rhs[parent.dot] == r.Lhs {
+						col.add(item{rule: parent.rule, dot: parent.dot + 1, origin: parent.origin})
+					}
+				}
+			}
+		}
+	}
+	return chart
+}
+
+// nullable reports whether sym can derive ε (computed on demand,
+// memoized on the grammar).
+func (g *Grammar) nullable(sym string) bool {
+	if g.nullSet == nil {
+		g.computeNullable()
+	}
+	return g.nullSet[sym]
+}
+
+func (g *Grammar) computeNullable() {
+	g.nullSet = map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range g.Rules {
+			if g.nullSet[r.Lhs] {
+				continue
+			}
+			all := true
+			for _, s := range r.Rhs {
+				if !g.nullSet[s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				g.nullSet[r.Lhs] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// Symbols returns all grammar symbols, nonterminals first, sorted.
+func (g *Grammar) Symbols() []string {
+	set := map[string]bool{}
+	for _, r := range g.Rules {
+		set[r.Lhs] = true
+		for _, s := range r.Rhs {
+			set[s] = true
+		}
+	}
+	var nts, ts []string
+	for s := range set {
+		if g.nonTerm[s] {
+			nts = append(nts, s)
+		} else {
+			ts = append(ts, s)
+		}
+	}
+	sort.Strings(nts)
+	sort.Strings(ts)
+	return append(nts, ts...)
+}

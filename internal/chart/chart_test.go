@@ -1,0 +1,242 @@
+package chart
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	c "repro/internal/combinator"
+)
+
+// arith is the classic ambiguous/left-recursive expression grammar:
+//
+//	E -> E + T | T
+//	T -> T * F | F
+//	F -> ( E ) | x
+func arith(t testing.TB) *Grammar {
+	t.Helper()
+	g, err := New("E", []Rule{
+		{Lhs: "E", Rhs: []string{"E", "+", "T"}},
+		{Lhs: "E", Rhs: []string{"T"}},
+		{Lhs: "T", Rhs: []string{"T", "*", "F"}},
+		{Lhs: "T", Rhs: []string{"F"}},
+		{Lhs: "F", Rhs: []string{"(", "E", ")"}},
+		{Lhs: "F", Rhs: []string{"x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestRecognizeArithmetic(t *testing.T) {
+	g := arith(t)
+	accept := []string{
+		"x",
+		"x + x",
+		"x * x",
+		"x + x * x",
+		"( x )",
+		"( x + x ) * x",
+		"x + x + x + x",
+	}
+	reject := []string{
+		"",
+		"+",
+		"x +",
+		"+ x",
+		"x x",
+		"( x",
+		"x )",
+		"( )",
+		"x * * x",
+	}
+	for _, s := range accept {
+		if !g.Recognize(toks(s)) {
+			t.Errorf("rejected %q", s)
+		}
+	}
+	for _, s := range reject {
+		if g.Recognize(toks(s)) {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestLeftRecursionTerminates(t *testing.T) {
+	// A -> A a | a: top-down combinators would loop; Earley must not.
+	g := MustNew("A", []Rule{
+		{Lhs: "A", Rhs: []string{"A", "a"}},
+		{Lhs: "A", Rhs: []string{"a"}},
+	})
+	for n := 1; n <= 50; n++ {
+		input := make([]string, n)
+		for i := range input {
+			input[i] = "a"
+		}
+		if !g.Recognize(input) {
+			t.Fatalf("rejected a^%d", n)
+		}
+	}
+	if g.Recognize([]string{"a", "b"}) {
+		t.Error("accepted a b")
+	}
+}
+
+func TestNullableRules(t *testing.T) {
+	// S -> A B ; A -> ε | a ; B -> b
+	g := MustNew("S", []Rule{
+		{Lhs: "S", Rhs: []string{"A", "B"}},
+		{Lhs: "A", Rhs: nil},
+		{Lhs: "A", Rhs: []string{"a"}},
+		{Lhs: "B", Rhs: []string{"b"}},
+	})
+	if !g.Recognize(toks("b")) {
+		t.Error("rejected 'b' (A nullable)")
+	}
+	if !g.Recognize(toks("a b")) {
+		t.Error("rejected 'a b'")
+	}
+	if g.Recognize(toks("a")) {
+		t.Error("accepted 'a' (B not nullable)")
+	}
+	// Empty input with fully nullable grammar.
+	g2 := MustNew("S", []Rule{
+		{Lhs: "S", Rhs: nil},
+		{Lhs: "S", Rhs: []string{"x", "S"}},
+	})
+	if !g2.Recognize(nil) {
+		t.Error("rejected empty input for nullable start")
+	}
+	if !g2.Recognize(toks("x x x")) {
+		t.Error("rejected x x x")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("S", []Rule{{Lhs: "A", Rhs: []string{"a"}}}); err == nil {
+		t.Error("start without rules must fail")
+	}
+	if _, err := New("S", []Rule{{Lhs: "", Rhs: []string{"a"}}}); err == nil {
+		t.Error("empty lhs must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew("S", nil)
+}
+
+func TestSymbolsAndString(t *testing.T) {
+	g := arith(t)
+	syms := g.Symbols()
+	if len(syms) != 8 { // E T F + * ( ) x
+		t.Errorf("symbols = %v", syms)
+	}
+	if !g.IsNonterminal("E") || g.IsNonterminal("x") {
+		t.Error("nonterminal classification wrong")
+	}
+	if s := (Rule{Lhs: "A"}).String(); s != "A -> ε" {
+		t.Errorf("epsilon rule string = %q", s)
+	}
+	if s := g.Rules[0].String(); s != "E -> E + T" {
+		t.Errorf("rule string = %q", s)
+	}
+}
+
+// combinatorEquivalent builds the same (right-recursive) grammar with
+// combinators:
+//
+//	E -> T ("+" T)* ; T -> F ("*" F)* ; F -> "(" E ")" | "x"
+//
+// which recognizes the same language as the left-recursive arith CFG.
+func combinatorEquivalent() c.Parser[string, struct{}] {
+	unit := struct{}{}
+	lit := func(s string) c.Parser[string, struct{}] {
+		return c.Map(c.Eq(s), func(string) struct{} { return unit })
+	}
+	var expr c.Parser[string, struct{}]
+	factor := c.Alt(
+		c.Seq3(lit("("), c.Ref(&expr), lit(")"),
+			func(_, _, _ struct{}) struct{} { return unit }),
+		lit("x"),
+	)
+	term := c.Seq2(factor, c.Many(c.Then(lit("*"), factor)),
+		func(struct{}, []struct{}) struct{} { return unit })
+	expr = c.Seq2(term, c.Many(c.Then(lit("+"), term)),
+		func(struct{}, []struct{}) struct{} { return unit })
+	return expr
+}
+
+// TestCrossValidationWithCombinators is the property the package exists
+// for: the chart parser and the combinator engine accept exactly the
+// same strings of the shared language, over random inputs.
+func TestCrossValidationWithCombinators(t *testing.T) {
+	g := arith(t)
+	comb := combinatorEquivalent()
+	alphabet := []string{"x", "+", "*", "(", ")"}
+
+	agree := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		length := int(n % 9)
+		input := make([]string, length)
+		for i := range input {
+			input[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		earley := g.Recognize(input)
+		combOK := len(c.ParseAll(comb, input)) > 0
+		if earley != combOK {
+			t.Logf("disagreement on %v: earley=%v combinators=%v", input, earley, combOK)
+		}
+		return earley == combOK
+	}
+	if err := quick.Check(agree, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossValidationPositive feeds generated valid sentences to both.
+func TestCrossValidationPositive(t *testing.T) {
+	g := arith(t)
+	comb := combinatorEquivalent()
+	r := rand.New(rand.NewSource(99))
+	var gen func(depth int) []string
+	gen = func(depth int) []string {
+		if depth <= 0 || r.Intn(3) == 0 {
+			return []string{"x"}
+		}
+		switch r.Intn(3) {
+		case 0:
+			return append(append(gen(depth-1), "+"), gen(depth-1)...)
+		case 1:
+			return append(append(gen(depth-1), "*"), gen(depth-1)...)
+		default:
+			return append(append([]string{"("}, gen(depth-1)...), ")")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		input := gen(4)
+		if !g.Recognize(input) {
+			t.Fatalf("earley rejected valid %v", input)
+		}
+		if len(c.ParseAll(comb, input)) == 0 {
+			t.Fatalf("combinators rejected valid %v", input)
+		}
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	g := arith(b)
+	input := toks("( x + x ) * x + x * ( x + x )")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.Recognize(input) {
+			b.Fatal("rejected")
+		}
+	}
+}

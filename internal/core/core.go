@@ -1,0 +1,222 @@
+// Package core assembles the complete natural language interface — the
+// paper's contribution — from its substrates: spelling correction and
+// annotation (semindex), semantic-grammar parsing (grammar),
+// interpretation ranking (interp), SQL generation (iql), execution
+// (exec) and English echo/response generation (nlg). The public root
+// package nli re-exports this engine.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dialog"
+	"repro/internal/exec"
+	"repro/internal/grammar"
+	"repro/internal/interp"
+	"repro/internal/iql"
+	"repro/internal/nlg"
+	"repro/internal/semindex"
+	"repro/internal/sql"
+	"repro/internal/store"
+	"repro/internal/strutil"
+)
+
+// Options configures an engine; every knowledge source and rule group
+// is switchable to support the ablation experiments.
+type Options struct {
+	Index        semindex.Options
+	Grammar      grammar.Options
+	Weights      interp.Weights
+	SpellMaxDist int // maximum edit distance for correction; 0 disables
+}
+
+// DefaultOptions enables everything with spelling correction at
+// distance 1 (the conservative era setting; T5 sweeps this).
+func DefaultOptions() Options {
+	return Options{
+		Index:        semindex.DefaultOptions(),
+		Grammar:      grammar.DefaultOptions(),
+		Weights:      interp.DefaultWeights(),
+		SpellMaxDist: 1,
+	}
+}
+
+// Timings is the per-stage latency breakdown of one question.
+type Timings struct {
+	Correct  time.Duration // spelling correction
+	Annotate time.Duration // semantic-index span annotation
+	Parse    time.Duration // semantic-grammar parsing
+	Rank     time.Duration // interpretation ranking
+	Generate time.Duration // IQL -> SQL translation
+	Execute  time.Duration // SQL execution
+	Total    time.Duration
+}
+
+// Answer is the full outcome of one question.
+type Answer struct {
+	Question    string
+	Corrections []semindex.Correction
+	Ranked      []interp.Scored // all surviving interpretations
+	Query       *iql.Query      // the chosen interpretation
+	SQL         *sql.SelectStmt
+	Result      *exec.Result
+	Paraphrase  string // English echo of the interpretation
+	Response    string // English rendering of the result
+	Timings     Timings
+}
+
+// Ambiguity reports how contested the interpretation was.
+func (a *Answer) Ambiguity() interp.Ambiguity { return interp.Measure(a.Ranked) }
+
+// Engine is a natural language interface bound to one database.
+type Engine struct {
+	DB   *store.DB
+	Idx  *semindex.Index
+	G    *grammar.Grammar
+	opts Options
+}
+
+// NewEngine builds the semantic index and grammar for db.
+func NewEngine(db *store.DB, opts Options) *Engine {
+	idx := semindex.Build(db, opts.Index)
+	return &Engine{
+		DB:   db,
+		Idx:  idx,
+		G:    grammar.New(idx, opts.Grammar),
+		opts: opts,
+	}
+}
+
+// Name identifies the full pipeline in benchmark reports.
+func (e *Engine) Name() string { return "nli" }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Translate maps a question to SQL without executing it — the
+// interface the benchmark harness evaluates all systems through.
+func (e *Engine) Translate(question string) (*sql.SelectStmt, error) {
+	_, stmt, _, err := e.interpret(question)
+	return stmt, err
+}
+
+// interpret runs the pipeline up to SQL generation.
+func (e *Engine) interpret(question string) (*Answer, *sql.SelectStmt, Timings, error) {
+	var tm Timings
+	ans := &Answer{Question: question}
+
+	toks := strutil.Tokenize(question)
+
+	start := time.Now()
+	if e.opts.SpellMaxDist > 0 {
+		toks, ans.Corrections = e.Idx.Correct(toks, e.opts.SpellMaxDist)
+	}
+	tm.Correct = time.Since(start)
+
+	start = time.Now()
+	prepared := e.G.Prepare(toks)
+	tm.Annotate = time.Since(start)
+
+	start = time.Now()
+	cands := e.G.ParsePrepared(prepared)
+	tm.Parse = time.Since(start)
+	if len(cands) == 0 {
+		return ans, nil, tm, fmt.Errorf("core: %q is outside the grammar's coverage", question)
+	}
+
+	start = time.Now()
+	ans.Ranked = interp.Rank(cands, e.DB.Schema, e.opts.Weights)
+	tm.Rank = time.Since(start)
+	if len(ans.Ranked) == 0 {
+		return ans, nil, tm, fmt.Errorf("core: no interpretation of %q connects over the schema", question)
+	}
+	ans.Query = ans.Ranked[0].Query
+
+	start = time.Now()
+	stmt, err := iql.ToSQL(ans.Query, e.DB.Schema)
+	tm.Generate = time.Since(start)
+	if err != nil {
+		return ans, nil, tm, fmt.Errorf("core: generating SQL: %w", err)
+	}
+	ans.SQL = stmt
+	return ans, stmt, tm, nil
+}
+
+// Interpret runs the pipeline up to SQL generation without executing,
+// exposing every ranked interpretation (used by the ambiguity
+// experiment T3).
+func (e *Engine) Interpret(question string) (*Answer, error) {
+	ans, _, tm, err := e.interpret(question)
+	ans.Timings = tm
+	return ans, err
+}
+
+// Ask answers a question end to end.
+func (e *Engine) Ask(question string) (*Answer, error) {
+	total := time.Now()
+	ans, stmt, tm, err := e.interpret(question)
+	if err != nil {
+		return ans, err
+	}
+
+	start := time.Now()
+	res, err := exec.Query(e.DB, stmt)
+	tm.Execute = time.Since(start)
+	if err != nil {
+		return ans, fmt.Errorf("core: executing %q: %w", stmt, err)
+	}
+	ans.Result = res
+	ans.Paraphrase = nlg.Paraphrase(ans.Query, e.DB.Schema)
+	ans.Response = nlg.Respond(ans.Query, res, e.DB.Schema)
+	tm.Total = time.Since(total)
+	ans.Timings = tm
+	return ans, nil
+}
+
+// Conversation is a multi-turn session over the engine.
+type Conversation struct {
+	e *Engine
+	s *dialog.Session
+}
+
+// NewConversation starts a dialogue session.
+func (e *Engine) NewConversation() *Conversation {
+	return &Conversation{
+		e: e,
+		s: dialog.NewSession(e.G, e.DB.Schema, e.opts.Weights),
+	}
+}
+
+// Reset clears the conversational context.
+func (c *Conversation) Reset() { c.s.Reset() }
+
+// Context exposes the current context query (nil when fresh).
+func (c *Conversation) Context() *iql.Query { return c.s.Context() }
+
+// Ask interprets one utterance against the conversation context and
+// executes it. The returned Answer notes whether context was used.
+func (c *Conversation) Ask(question string) (*Answer, bool, error) {
+	toks := strutil.Tokenize(question)
+	if c.e.opts.SpellMaxDist > 0 {
+		toks, _ = c.e.Idx.Correct(toks, c.e.opts.SpellMaxDist)
+	}
+	turn, err := c.s.Ask(strutil.Join(toks))
+	if err != nil {
+		return nil, false, err
+	}
+	ans := &Answer{Question: question, Ranked: turn.Ranked, Query: turn.Query}
+	stmt, err := iql.ToSQL(turn.Query, c.e.DB.Schema)
+	if err != nil {
+		return ans, turn.FollowUp, err
+	}
+	ans.SQL = stmt
+	res, err := exec.Query(c.e.DB, stmt)
+	if err != nil {
+		return ans, turn.FollowUp, err
+	}
+	ans.Result = res
+	ans.Paraphrase = nlg.Paraphrase(turn.Query, c.e.DB.Schema)
+	ans.Response = nlg.Respond(turn.Query, res, c.e.DB.Schema)
+	return ans, turn.FollowUp, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/semindex"
+)
+
+func uniEngine(t testing.TB) *Engine {
+	t.Helper()
+	return NewEngine(dataset.University(1), DefaultOptions())
+}
+
+func TestAskEndToEnd(t *testing.T) {
+	e := uniEngine(t)
+	ans, err := e.Ask("how many students are in Computer Science?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Rows[0][0].Int64() != 30 {
+		t.Errorf("count = %v (sql %s)", ans.Result.Rows[0][0], ans.SQL)
+	}
+	if ans.Paraphrase == "" || ans.Response == "" {
+		t.Error("echo/response missing")
+	}
+	if !strings.Contains(ans.Response, "30") {
+		t.Errorf("response = %q", ans.Response)
+	}
+	if ans.Timings.Total <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestAskWithTypo(t *testing.T) {
+	e := uniEngine(t)
+	ans, err := e.Ask("studnets with gpa over 3.5")
+	if err != nil {
+		t.Fatalf("typo not recovered: %v", err)
+	}
+	if len(ans.Corrections) != 1 || ans.Corrections[0].To != "students" {
+		t.Errorf("corrections = %+v", ans.Corrections)
+	}
+	if len(ans.Result.Rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestSpellingDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SpellMaxDist = 0
+	e := NewEngine(dataset.University(1), opts)
+	if _, err := e.Ask("studnets with gpa over 3.5"); err == nil {
+		t.Error("typo should fail with correction disabled")
+	}
+}
+
+func TestAskOutsideCoverage(t *testing.T) {
+	e := uniEngine(t)
+	_, err := e.Ask("what is the meaning of life")
+	if err == nil || !strings.Contains(err.Error(), "coverage") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTranslateSystemInterface(t *testing.T) {
+	e := uniEngine(t)
+	if e.Name() != "nli" {
+		t.Error("name wrong")
+	}
+	stmt, err := e.Translate("average salary of instructors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.String(), "AVG(instructors.salary)") {
+		t.Errorf("sql = %s", stmt)
+	}
+}
+
+func TestAmbiguityReported(t *testing.T) {
+	e := NewEngine(dataset.Geo(), DefaultOptions())
+	ans, err := e.Ask("the population of Brazil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Ambiguity().Candidates < 2 {
+		t.Errorf("expected ambiguity, got %d", ans.Ambiguity().Candidates)
+	}
+	// Top interpretation: countries.population = single scalar.
+	if len(ans.Result.Rows) != 1 {
+		t.Errorf("rows = %v (sql %s)", ans.Result.Rows, ans.SQL)
+	}
+}
+
+func TestConversationFlow(t *testing.T) {
+	e := uniEngine(t)
+	conv := e.NewConversation()
+
+	ans, follow, err := conv.Ask("students in Computer Science")
+	if err != nil || follow {
+		t.Fatalf("turn 1: %v follow=%v", err, follow)
+	}
+	n1 := len(ans.Result.Rows)
+
+	ans, follow, err = conv.Ask("only those with gpa over 3.5")
+	if err != nil || !follow {
+		t.Fatalf("turn 2: %v follow=%v", err, follow)
+	}
+	if len(ans.Result.Rows) >= n1 {
+		t.Errorf("refinement did not narrow: %d -> %d", n1, len(ans.Result.Rows))
+	}
+
+	ans, follow, err = conv.Ask("how many")
+	if err != nil || !follow {
+		t.Fatalf("turn 3: %v follow=%v", err, follow)
+	}
+	if !strings.Contains(ans.Response, "There are") {
+		t.Errorf("response = %q", ans.Response)
+	}
+
+	conv.Reset()
+	if conv.Context() != nil {
+		t.Error("Reset failed")
+	}
+}
+
+func TestConversationCorrectsSpelling(t *testing.T) {
+	e := uniEngine(t)
+	conv := e.NewConversation()
+	if _, _, err := conv.Ask("studnets in Computer Science"); err != nil {
+		t.Fatalf("conversation typo not recovered: %v", err)
+	}
+}
+
+func TestAblatedIndexOptions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Index = semindex.Options{Synonyms: false, Stems: false, Values: false}
+	e := NewEngine(dataset.University(1), opts)
+	// Without the value index, a value-conditioned question fails...
+	if _, err := e.Ask("students in Computer Science"); err == nil {
+		t.Error("value condition should fail without value index")
+	}
+	// ...but schema-name questions still work.
+	if _, err := e.Ask("how many students"); err != nil {
+		t.Errorf("bare count should still work: %v", err)
+	}
+}
+
+func BenchmarkAskSimple(b *testing.B) {
+	e := NewEngine(dataset.University(1), DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Ask("students with gpa over 3.5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAskAggregate(b *testing.B) {
+	e := NewEngine(dataset.University(1), DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Ask("average salary of instructors per department"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentAsks verifies that a built engine is safe for parallel
+// read-only querying (run under -race in CI).
+func TestConcurrentAsks(t *testing.T) {
+	e := uniEngine(t)
+	questions := []string{
+		"students with gpa over 3.5",
+		"how many instructors are in Physics",
+		"avrage salary of instructors", // typo: exercises Correct concurrently
+		"which department has the most students",
+		"top 3 instructors by salary",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(questions)*8)
+	for i := 0; i < 8; i++ {
+		for _, q := range questions {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				if _, err := e.Ask(q); err != nil {
+					errs <- fmt.Errorf("%q: %w", q, err)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package dialog is the conversational layer: it tracks the state of a
+// data-exploration session (the last interpreted query) and resolves
+// elliptical follow-ups against it. A turn is first tried as a complete
+// question; only when the full grammar rejects it is it interpreted as
+// a fragment refining the previous turn — so "students in Math" starts
+// a new question while "only those in Math" narrows the current one.
+package dialog
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/interp"
+	"repro/internal/iql"
+	"repro/internal/schema"
+	"repro/internal/strutil"
+)
+
+// Turn is the interpretation of one user utterance.
+type Turn struct {
+	Query    *iql.Query
+	Ranked   []interp.Scored
+	FollowUp bool // true when the turn was resolved against context
+}
+
+// Session is one conversation.
+type Session struct {
+	g       *grammar.Grammar
+	schema  *schema.Schema
+	weights interp.Weights
+	prev    *iql.Query
+	turns   int
+}
+
+// NewSession starts a conversation over the given grammar and schema.
+func NewSession(g *grammar.Grammar, s *schema.Schema, w interp.Weights) *Session {
+	return &Session{g: g, schema: s, weights: w}
+}
+
+// Turns returns how many turns have been interpreted successfully.
+func (s *Session) Turns() int { return s.turns }
+
+// Context returns the current context query (nil before the first
+// successful turn).
+func (s *Session) Context() *iql.Query { return s.prev }
+
+// Reset clears the conversational context.
+func (s *Session) Reset() { s.prev = nil }
+
+// Ask interprets one utterance. Full questions replace the context;
+// fragments refine it. An error is returned when neither reading
+// produces a connected interpretation.
+func (s *Session) Ask(question string) (*Turn, error) {
+	toks := strutil.Tokenize(question)
+
+	full := s.g.Parse(toks)
+	if ranked := interp.Rank(full, s.schema, s.weights); len(ranked) > 0 {
+		s.prev = ranked[0].Query
+		s.turns++
+		return &Turn{Query: ranked[0].Query, Ranked: ranked, FollowUp: false}, nil
+	}
+
+	if s.prev != nil {
+		upd := s.g.ParseUpdate(toks, s.prev)
+		if ranked := interp.Rank(upd, s.schema, s.weights); len(ranked) > 0 {
+			s.prev = ranked[0].Query
+			s.turns++
+			return &Turn{Query: ranked[0].Query, Ranked: ranked, FollowUp: true}, nil
+		}
+		return nil, fmt.Errorf("dialog: could not relate %q to the current context", question)
+	}
+	return nil, fmt.Errorf("dialog: could not interpret %q", question)
+}

@@ -1,0 +1,511 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+// eval evaluates a scalar (non-aggregate) expression in a row frame.
+func (ex *executor) eval(f *frame, e sql.Expr) (store.Value, error) {
+	switch n := e.(type) {
+	case sql.ColumnRef:
+		return resolveValue(f, n)
+	case sql.Literal:
+		return n.Val, nil
+	case *sql.BinaryExpr:
+		return ex.evalBinary(f, n)
+	case *sql.NotExpr:
+		v, err := ex.eval(f, n.X)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if v.IsNull() {
+			return store.Null(), nil
+		}
+		return store.Bool(!isTrue(v)), nil
+	case *sql.NegExpr:
+		v, err := ex.eval(f, n.X)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if v.IsNull() {
+			return store.Null(), nil
+		}
+		switch v.Kind() {
+		case store.KindInt:
+			return store.Int(-v.Int64()), nil
+		case store.KindFloat:
+			fl, _ := v.AsFloat()
+			return store.Float(-fl), nil
+		}
+		return store.Value{}, fmt.Errorf("exec: cannot negate %s", v.Kind())
+	case *sql.FuncCall:
+		return store.Value{}, fmt.Errorf("exec: aggregate %s used outside GROUP BY context", n.Name)
+	case *sql.InExpr:
+		return ex.evalIn(f, n)
+	case *sql.ExistsExpr:
+		res, err := ex.runSubquery(n.Sub, f)
+		if err != nil {
+			return store.Value{}, err
+		}
+		has := len(res.Rows) > 0
+		if n.Negated {
+			has = !has
+		}
+		return store.Bool(has), nil
+	case *sql.SubqueryExpr:
+		return ex.scalarSubquery(n.Sub, f)
+	case *sql.BetweenExpr:
+		x, err := ex.eval(f, n.X)
+		if err != nil {
+			return store.Value{}, err
+		}
+		lo, err := ex.eval(f, n.Lo)
+		if err != nil {
+			return store.Value{}, err
+		}
+		hi, err := ex.eval(f, n.Hi)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if x.IsNull() || lo.IsNull() || hi.IsNull() {
+			return store.Null(), nil
+		}
+		in := store.Compare(x, lo) >= 0 && store.Compare(x, hi) <= 0
+		if n.Negated {
+			in = !in
+		}
+		return store.Bool(in), nil
+	case *sql.LikeExpr:
+		x, err := ex.eval(f, n.X)
+		if err != nil {
+			return store.Value{}, err
+		}
+		pat, err := ex.eval(f, n.Pattern)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if x.IsNull() || pat.IsNull() {
+			return store.Null(), nil
+		}
+		m := matchLike(x.String(), pat.String())
+		if n.Negated {
+			m = !m
+		}
+		return store.Bool(m), nil
+	case *sql.IsNullExpr:
+		v, err := ex.eval(f, n.X)
+		if err != nil {
+			return store.Value{}, err
+		}
+		isNull := v.IsNull()
+		if n.Negated {
+			isNull = !isNull
+		}
+		return store.Bool(isNull), nil
+	}
+	return store.Value{}, fmt.Errorf("exec: unsupported expression %T", e)
+}
+
+func (ex *executor) evalBinary(f *frame, n *sql.BinaryExpr) (store.Value, error) {
+	switch n.Op {
+	case sql.OpAnd, sql.OpOr:
+		l, err := ex.eval(f, n.L)
+		if err != nil {
+			return store.Value{}, err
+		}
+		// Short circuit where 3VL permits.
+		if n.Op == sql.OpAnd && !l.IsNull() && !isTrue(l) {
+			return store.Bool(false), nil
+		}
+		if n.Op == sql.OpOr && isTrue(l) {
+			return store.Bool(true), nil
+		}
+		r, err := ex.eval(f, n.R)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if n.Op == sql.OpAnd {
+			switch {
+			case !r.IsNull() && !isTrue(r):
+				return store.Bool(false), nil
+			case l.IsNull() || r.IsNull():
+				return store.Null(), nil
+			}
+			return store.Bool(true), nil
+		}
+		switch {
+		case isTrue(r):
+			return store.Bool(true), nil
+		case l.IsNull() || r.IsNull():
+			return store.Null(), nil
+		}
+		return store.Bool(false), nil
+	}
+
+	l, err := ex.eval(f, n.L)
+	if err != nil {
+		return store.Value{}, err
+	}
+	r, err := ex.eval(f, n.R)
+	if err != nil {
+		return store.Value{}, err
+	}
+	if n.Op.IsComparison() {
+		if l.IsNull() || r.IsNull() {
+			return store.Null(), nil
+		}
+		c := store.Compare(l, r)
+		var out bool
+		switch n.Op {
+		case sql.OpEq:
+			out = c == 0
+		case sql.OpNe:
+			out = c != 0
+		case sql.OpLt:
+			out = c < 0
+		case sql.OpLe:
+			out = c <= 0
+		case sql.OpGt:
+			out = c > 0
+		case sql.OpGe:
+			out = c >= 0
+		}
+		return store.Bool(out), nil
+	}
+
+	// Arithmetic.
+	if l.IsNull() || r.IsNull() {
+		return store.Null(), nil
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return store.Value{}, fmt.Errorf("exec: arithmetic on non-numeric values %s, %s", l.Kind(), r.Kind())
+	}
+	bothInt := l.Kind() == store.KindInt && r.Kind() == store.KindInt
+	switch n.Op {
+	case sql.OpAdd:
+		if bothInt {
+			return store.Int(l.Int64() + r.Int64()), nil
+		}
+		return store.Float(lf + rf), nil
+	case sql.OpSub:
+		if bothInt {
+			return store.Int(l.Int64() - r.Int64()), nil
+		}
+		return store.Float(lf - rf), nil
+	case sql.OpMul:
+		if bothInt {
+			return store.Int(l.Int64() * r.Int64()), nil
+		}
+		return store.Float(lf * rf), nil
+	case sql.OpDiv:
+		if rf == 0 {
+			return store.Null(), nil
+		}
+		return store.Float(lf / rf), nil
+	}
+	return store.Value{}, fmt.Errorf("exec: unsupported operator %v", n.Op)
+}
+
+func (ex *executor) evalIn(f *frame, n *sql.InExpr) (store.Value, error) {
+	x, err := ex.eval(f, n.X)
+	if err != nil {
+		return store.Value{}, err
+	}
+	if x.IsNull() {
+		return store.Null(), nil
+	}
+	var found, sawNull bool
+	if n.Sub != nil {
+		res, err := ex.runSubquery(n.Sub, f)
+		if err != nil {
+			return store.Value{}, err
+		}
+		if len(res.Cols) != 1 {
+			return store.Value{}, fmt.Errorf("exec: IN subquery must return one column, got %d", len(res.Cols))
+		}
+		for _, row := range res.Rows {
+			if row[0].IsNull() {
+				sawNull = true
+				continue
+			}
+			if store.Equal(x, row[0]) {
+				found = true
+				break
+			}
+		}
+	} else {
+		for _, le := range n.List {
+			v, err := ex.eval(f, le)
+			if err != nil {
+				return store.Value{}, err
+			}
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			if store.Equal(x, v) {
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		return store.Bool(!n.Negated), nil
+	}
+	if sawNull {
+		return store.Null(), nil
+	}
+	return store.Bool(n.Negated), nil
+}
+
+// runSubquery executes sub with f as the correlation parent,
+// memoizing results for subqueries that turn out to be uncorrelated.
+func (ex *executor) runSubquery(sub *sql.SelectStmt, f *frame) (*Result, error) {
+	if cached, ok := ex.subCache[sub]; ok {
+		return cached, nil
+	}
+	if !refersToOuter(sub, f) {
+		res, err := ex.selectStmt(sub, nil)
+		if err != nil {
+			return nil, err
+		}
+		ex.subCache[sub] = res
+		return res, nil
+	}
+	return ex.selectStmt(sub, f)
+}
+
+// refersToOuter conservatively reports whether sub mentions a table
+// name from an enclosing frame, in which case it must be re-evaluated
+// per outer row.
+func refersToOuter(sub *sql.SelectStmt, f *frame) bool {
+	inner := map[string]bool{}
+	for _, t := range sub.From {
+		inner[t.Name()] = true
+	}
+	outer := map[string]bool{}
+	for p := f; p != nil; p = p.parent {
+		if p.rel == nil {
+			continue
+		}
+		for _, b := range p.rel.bindings {
+			if !inner[b.name] {
+				outer[b.name] = true
+			}
+		}
+	}
+	if len(outer) == 0 {
+		return false
+	}
+	correlated := false
+	walkExprs(sub, func(e sql.Expr) {
+		if c, ok := e.(sql.ColumnRef); ok && c.Table != "" && outer[c.Table] {
+			correlated = true
+		}
+	})
+	return correlated
+}
+
+// walkExprs visits every expression in the statement, including nested
+// subqueries.
+func walkExprs(s *sql.SelectStmt, visit func(sql.Expr)) {
+	var walkE func(sql.Expr)
+	walkE = func(e sql.Expr) {
+		if e == nil {
+			return
+		}
+		visit(e)
+		switch n := e.(type) {
+		case *sql.BinaryExpr:
+			walkE(n.L)
+			walkE(n.R)
+		case *sql.NotExpr:
+			walkE(n.X)
+		case *sql.NegExpr:
+			walkE(n.X)
+		case *sql.FuncCall:
+			walkE(n.Arg)
+		case *sql.InExpr:
+			walkE(n.X)
+			for _, le := range n.List {
+				walkE(le)
+			}
+			if n.Sub != nil {
+				walkExprs(n.Sub, visit)
+			}
+		case *sql.ExistsExpr:
+			walkExprs(n.Sub, visit)
+		case *sql.SubqueryExpr:
+			walkExprs(n.Sub, visit)
+		case *sql.BetweenExpr:
+			walkE(n.X)
+			walkE(n.Lo)
+			walkE(n.Hi)
+		case *sql.LikeExpr:
+			walkE(n.X)
+			walkE(n.Pattern)
+		case *sql.IsNullExpr:
+			walkE(n.X)
+		}
+	}
+	for _, it := range s.Items {
+		if !it.Star {
+			walkE(it.Expr)
+		}
+	}
+	walkE(s.Where)
+	for _, g := range s.GroupBy {
+		walkE(g)
+	}
+	walkE(s.Having)
+	for _, o := range s.OrderBy {
+		walkE(o.Expr)
+	}
+}
+
+func (ex *executor) scalarSubquery(sub *sql.SelectStmt, f *frame) (store.Value, error) {
+	res, err := ex.runSubquery(sub, f)
+	if err != nil {
+		return store.Value{}, err
+	}
+	if len(res.Cols) != 1 {
+		return store.Value{}, fmt.Errorf("exec: scalar subquery must return one column, got %d", len(res.Cols))
+	}
+	switch len(res.Rows) {
+	case 0:
+		return store.Null(), nil
+	case 1:
+		return res.Rows[0][0], nil
+	}
+	return store.Value{}, fmt.Errorf("exec: scalar subquery returned %d rows", len(res.Rows))
+}
+
+// resolveValue finds the value of a column reference, searching the
+// current frame first and then the parent chain (correlation).
+func resolveValue(f *frame, ref sql.ColumnRef) (store.Value, error) {
+	for cur := f; cur != nil; cur = cur.parent {
+		off, ok, ambiguous := offsetIn(cur.rel, ref)
+		if ambiguous {
+			return store.Value{}, fmt.Errorf("exec: ambiguous column %q", ref.String())
+		}
+		if ok {
+			return cur.row[off], nil
+		}
+	}
+	return store.Value{}, fmt.Errorf("exec: unknown column %q", ref.String())
+}
+
+func offsetIn(rel *relation, ref sql.ColumnRef) (off int, ok, ambiguous bool) {
+	if rel == nil {
+		return 0, false, false
+	}
+	found := -1
+	for _, b := range rel.bindings {
+		if ref.Table != "" && ref.Table != b.name {
+			continue
+		}
+		if ci := indexOfColumn(b.meta, ref.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, false, true
+			}
+			found = b.off + ci
+		}
+	}
+	if found < 0 {
+		return 0, false, false
+	}
+	return found, true, false
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any single
+// character), matching the whole string, case-sensitively.
+func matchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer algorithm with backtracking on %.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			sBack++
+			si = sBack
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// FormatResult renders a result as an aligned text table for the REPL
+// and examples.
+func FormatResult(r *Result) string {
+	if r == nil {
+		return ""
+	}
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(c, widths[i]))
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	for _, row := range cells {
+		b.WriteByte('\n')
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(s, widths[i]))
+		}
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

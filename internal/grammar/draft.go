@@ -1,0 +1,190 @@
+package grammar
+
+import (
+	"repro/internal/iql"
+	"repro/internal/lexicon"
+	"repro/internal/schema"
+	"repro/internal/semindex"
+	"repro/internal/store"
+)
+
+// draft is a query under construction during parsing.
+type draft struct {
+	entity  entRef
+	outputs []iql.Output
+	conds   []iql.Condition
+	group   []iql.FieldRef
+	order   *iql.OrderSpec
+	having  *iql.Having
+	sub     *iql.SubCompare
+	score   float64
+}
+
+// mod is a post-modifier: a deferred edit applied to the draft once the
+// entity is known.
+type mod func(d *draft)
+
+func (d *draft) apply(mods []mod) *draft {
+	for _, m := range mods {
+		m(d)
+	}
+	return d
+}
+
+func (d *draft) clone() *draft {
+	out := *d
+	out.outputs = append([]iql.Output(nil), d.outputs...)
+	out.conds = append([]iql.Condition(nil), d.conds...)
+	out.group = append([]iql.FieldRef(nil), d.group...)
+	if d.order != nil {
+		o := *d.order
+		out.order = &o
+	}
+	if d.having != nil {
+		h := *d.having
+		out.having = &h
+	}
+	if d.sub != nil {
+		s := *d.sub
+		s.SubConds = append([]iql.Condition(nil), d.sub.SubConds...)
+		out.sub = &s
+	}
+	return &out
+}
+
+// finalize turns the draft into a validated logical query. It rejects
+// drafts whose conditions are type-incompatible (a number compared to a
+// text column and vice versa), the first line of defence against
+// spurious ambiguity.
+func (d *draft) finalize(idx *semindex.Index) (*iql.Query, bool) {
+	if d.entity.table == "" {
+		return nil, false
+	}
+	q := &iql.Query{
+		Entity:  d.entity.table,
+		Outputs: d.outputs,
+		Conds:   d.conds,
+		GroupBy: d.group,
+		Order:   d.order,
+		Having:  d.having,
+		Sub:     d.sub,
+	}
+	for _, cond := range q.Conds {
+		if !condTypeOK(idx, cond) {
+			return nil, false
+		}
+	}
+	if q.Sub != nil {
+		ct, ok := idx.ColumnType(q.Sub.Field.Table, q.Sub.Field.Column)
+		if !ok || !ct.IsNumeric() {
+			return nil, false
+		}
+		for _, cond := range q.Sub.SubConds {
+			if !condTypeOK(idx, cond) {
+				return nil, false
+			}
+		}
+	}
+	// Sorting by an aggregate or plain field needs a resolvable target.
+	if q.Order != nil && !q.Order.CountRows && q.Order.Field.Zero() {
+		return nil, false
+	}
+	// Plain multi-table entity listings deduplicate (join fan-out must
+	// not repeat answers).
+	if !q.Aggregated() && len(q.Tables()) > 1 && allPlain(q.Outputs) {
+		q.Distinct = true
+	}
+	return q, true
+}
+
+func allPlain(outs []iql.Output) bool {
+	for _, o := range outs {
+		if o.Agg != lexicon.NoAgg || o.CountStar {
+			return false
+		}
+	}
+	return true
+}
+
+func condTypeOK(idx *semindex.Index, c iql.Condition) bool {
+	ct, ok := idx.ColumnType(c.Field.Table, c.Field.Column)
+	if !ok {
+		return false
+	}
+	if c.Between {
+		return ct.IsNumeric() && c.Value.IsNumeric() && c.Hi.IsNumeric()
+	}
+	if len(c.In) > 0 {
+		for _, v := range c.In {
+			if v.Kind() == store.KindText && ct != schema.Text {
+				return false
+			}
+			if v.IsNumeric() && !ct.IsNumeric() {
+				return false
+			}
+		}
+		return true
+	}
+	if c.Like != "" {
+		return ct == schema.Text
+	}
+	switch c.Value.Kind() {
+	case store.KindInt, store.KindFloat:
+		return ct.IsNumeric()
+	case store.KindText:
+		return ct == schema.Text
+	case store.KindBool:
+		return ct == schema.Bool
+	}
+	return false
+}
+
+// numericAttrs lists the numeric, non-key attributes of a table — the
+// candidate meanings of "largest X" style superlatives.
+func numericAttrs(idx *semindex.Index, table string) []iql.FieldRef {
+	t := idx.Schema.Table(table)
+	if t == nil {
+		return nil
+	}
+	keyCols := map[string]bool{}
+	if t.PrimaryKey != "" {
+		keyCols[t.PrimaryKey] = true
+	}
+	for _, fk := range idx.Schema.ForeignKeys {
+		if fk.Table == table {
+			keyCols[fk.Column] = true
+		}
+	}
+	var out []iql.FieldRef
+	for _, col := range t.Columns {
+		if col.Type.IsNumeric() && !keyCols[col.Name] {
+			out = append(out, iql.FieldRef{Table: table, Column: col.Name})
+		}
+	}
+	return out
+}
+
+// hintMatch reports whether a column matches a superlative's attribute
+// hint ("longest" -> length), checking the name and its synonyms.
+func hintMatch(idx *semindex.Index, f iql.FieldRef, hint string) bool {
+	if hint == "" {
+		return false
+	}
+	t := idx.Schema.Table(f.Table)
+	if t == nil {
+		return false
+	}
+	c := t.Column(f.Column)
+	if c == nil {
+		return false
+	}
+	if c.Name == hint {
+		return true
+	}
+	for _, syn := range c.Synonyms {
+		if syn == hint {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package interp is the interpretation stage of the pipeline: it takes
+// the grammar's logical-query candidates and ranks them by combining
+// lexical match quality with structural coherence over the schema —
+// candidates whose entities connect with fewer joins score higher, the
+// Steiner-tree intuition of the classic rule-based interpreters.
+// Unconnectable candidates are rejected here.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grammar"
+	"repro/internal/iql"
+	"repro/internal/schema"
+)
+
+// Weights tune the ranking. The defaults reproduce the behaviour the
+// ambiguity experiment (T3) reports; they are exported so ablations can
+// vary them.
+type Weights struct {
+	JoinPenalty  float64 // per join in the connection tree
+	TablePenalty float64 // per table beyond the first
+	CondBonus    float64 // per condition (conditions indicate the parse used the tokens meaningfully)
+	OutputBonus  float64 // per projected column living on the entity table
+}
+
+// DefaultWeights returns the standard ranking weights.
+func DefaultWeights() Weights {
+	return Weights{JoinPenalty: 0.25, TablePenalty: 0.05, CondBonus: 0.1, OutputBonus: 0.05}
+}
+
+// Scored is a ranked interpretation.
+type Scored struct {
+	Query      *iql.Query
+	Score      float64 // final combined score
+	MatchScore float64 // lexical match quality from the grammar
+	JoinCost   int     // joins needed to connect the mentioned tables
+}
+
+// Explain renders the ranking rationale for the trust-building echo.
+func (s Scored) Explain() string {
+	return fmt.Sprintf("score %.2f (match %.2f, %d joins): %s",
+		s.Score, s.MatchScore, s.JoinCost, s.Query)
+}
+
+// Rank scores and orders the candidates, dropping those whose tables
+// cannot be connected over the foreign-key graph. Order is stable for
+// equal scores, so grammar priority breaks ties.
+func Rank(cands []grammar.Candidate, s *schema.Schema, w Weights) []Scored {
+	var out []Scored
+	for _, cand := range cands {
+		tables := cand.Query.Tables()
+		joins := s.PathLength(tables)
+		if joins < 0 {
+			continue // unconnectable interpretation
+		}
+		if cand.Query.Sub != nil {
+			subTables := []string{cand.Query.Sub.SubField.Table}
+			for _, c := range cand.Query.Sub.SubConds {
+				subTables = append(subTables, c.Field.Table)
+			}
+			subJoins := s.PathLength(subTables)
+			if subJoins < 0 {
+				continue
+			}
+			joins += subJoins
+		}
+		onEntity := 0
+		for _, o := range cand.Query.Outputs {
+			if o.Field.Table == cand.Query.Entity {
+				onEntity++
+			}
+		}
+		score := cand.Score -
+			w.JoinPenalty*float64(joins) -
+			w.TablePenalty*float64(len(tables)-1) +
+			w.CondBonus*float64(len(cand.Query.Conds)) +
+			w.OutputBonus*float64(onEntity)
+		out = append(out, Scored{
+			Query:      cand.Query,
+			Score:      score,
+			MatchScore: cand.Score,
+			JoinCost:   joins,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Ambiguity summarizes how contested an interpretation was, for the
+// ambiguity statistics experiment (T3).
+type Ambiguity struct {
+	Candidates int     // interpretations surviving ranking
+	Margin     float64 // score gap between the top two (0 when unique)
+}
+
+// Measure computes ambiguity statistics over ranked interpretations.
+func Measure(ranked []Scored) Ambiguity {
+	a := Ambiguity{Candidates: len(ranked)}
+	if len(ranked) >= 2 {
+		a.Margin = ranked[0].Score - ranked[1].Score
+	}
+	return a
+}

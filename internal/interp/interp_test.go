@@ -1,0 +1,149 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/grammar"
+	"repro/internal/iql"
+	"repro/internal/lexicon"
+	"repro/internal/semindex"
+	"repro/internal/store"
+	"repro/internal/strutil"
+)
+
+func geoSetup(t testing.TB) (*grammar.Grammar, *semindex.Index) {
+	t.Helper()
+	idx := semindex.Build(dataset.Geo(), semindex.DefaultOptions())
+	return grammar.New(idx, grammar.DefaultOptions()), idx
+}
+
+func TestRankPrefersFewerJoins(t *testing.T) {
+	g, idx := geoSetup(t)
+	// "the population of Brazil": countries.population (0 joins) must
+	// outrank cities.population (1 join).
+	cands := g.Parse(strutil.Tokenize("the population of Brazil"))
+	ranked := Rank(cands, idx.Schema, DefaultWeights())
+	if len(ranked) < 2 {
+		t.Fatalf("expected ambiguity, got %d interpretations", len(ranked))
+	}
+	top := ranked[0].Query
+	if top.Outputs[0].Field.Table != "countries" {
+		t.Errorf("top interpretation = %s", top)
+	}
+	if ranked[0].JoinCost != 0 {
+		t.Errorf("top join cost = %d", ranked[0].JoinCost)
+	}
+	if ranked[1].JoinCost <= ranked[0].JoinCost {
+		t.Errorf("second interpretation should cost more joins: %+v", ranked[1])
+	}
+}
+
+func TestRankDropsUnconnectable(t *testing.T) {
+	_, idx := geoSetup(t)
+	// Hand-build a candidate referencing a bogus table.
+	cands := []grammar.Candidate{{
+		Query: &iql.Query{Entity: "no_such_table"},
+		Score: 5,
+	}}
+	if ranked := Rank(cands, idx.Schema, DefaultWeights()); len(ranked) != 0 {
+		t.Errorf("unconnectable candidate survived: %+v", ranked)
+	}
+}
+
+func TestRankSubqueryJoinsCounted(t *testing.T) {
+	_, idx := geoSetup(t)
+	base := &iql.Query{
+		Entity: "rivers",
+		Sub: &iql.SubCompare{
+			Field:    iql.FieldRef{Table: "rivers", Column: "length"},
+			Op:       lexicon.Gt,
+			Agg:      lexicon.Max,
+			SubField: iql.FieldRef{Table: "rivers", Column: "length"},
+			SubConds: []iql.Condition{{
+				Field: iql.FieldRef{Table: "rivers", Column: "name"},
+				Op:    lexicon.Eq, Value: store.Text("Rhine"),
+			}},
+		},
+	}
+	crossTable := base.Clone()
+	crossTable.Sub.SubConds[0].Field = iql.FieldRef{Table: "countries", Column: "name"}
+	cands := []grammar.Candidate{
+		{Query: crossTable, Score: 1},
+		{Query: base, Score: 1},
+	}
+	ranked := Rank(cands, idx.Schema, DefaultWeights())
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	if ranked[0].Query != base {
+		t.Errorf("same-table subquery should win: %+v", ranked[0])
+	}
+}
+
+func TestRankSubqueryUnconnectableDropped(t *testing.T) {
+	_, idx := geoSetup(t)
+	q := &iql.Query{
+		Entity: "rivers",
+		Sub: &iql.SubCompare{
+			Field:    iql.FieldRef{Table: "rivers", Column: "length"},
+			Op:       lexicon.Gt,
+			Agg:      lexicon.Max,
+			SubField: iql.FieldRef{Table: "bogus", Column: "length"},
+		},
+	}
+	if ranked := Rank([]grammar.Candidate{{Query: q, Score: 1}}, idx.Schema, DefaultWeights()); len(ranked) != 0 {
+		t.Errorf("bad subquery survived: %+v", ranked)
+	}
+}
+
+func TestRankStableOnTies(t *testing.T) {
+	_, idx := geoSetup(t)
+	a := &iql.Query{Entity: "rivers"}
+	b := &iql.Query{Entity: "cities"}
+	cands := []grammar.Candidate{{Query: a, Score: 1}, {Query: b, Score: 1}}
+	ranked := Rank(cands, idx.Schema, DefaultWeights())
+	if ranked[0].Query != a || ranked[1].Query != b {
+		t.Error("tie order not stable")
+	}
+}
+
+func TestCondBonusRewardsUsedTokens(t *testing.T) {
+	_, idx := geoSetup(t)
+	bare := &iql.Query{Entity: "cities"}
+	withCond := &iql.Query{
+		Entity: "cities",
+		Conds: []iql.Condition{{
+			Field: iql.FieldRef{Table: "cities", Column: "name"},
+			Op:    lexicon.Eq, Value: store.Text("Paris"),
+		}},
+	}
+	cands := []grammar.Candidate{{Query: bare, Score: 1}, {Query: withCond, Score: 1}}
+	ranked := Rank(cands, idx.Schema, DefaultWeights())
+	if ranked[0].Query != withCond {
+		t.Errorf("condition-bearing interpretation should win: %+v", ranked)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	a := Measure(nil)
+	if a.Candidates != 0 || a.Margin != 0 {
+		t.Errorf("empty = %+v", a)
+	}
+	a = Measure([]Scored{{Score: 2}})
+	if a.Candidates != 1 || a.Margin != 0 {
+		t.Errorf("single = %+v", a)
+	}
+	a = Measure([]Scored{{Score: 2}, {Score: 1.5}, {Score: 0.1}})
+	if a.Candidates != 3 || a.Margin != 0.5 {
+		t.Errorf("multi = %+v", a)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := Scored{Query: &iql.Query{Entity: "rivers"}, Score: 1.5, MatchScore: 2, JoinCost: 1}
+	if e := s.Explain(); !strings.Contains(e, "rivers") || !strings.Contains(e, "1 joins") {
+		t.Errorf("Explain = %q", e)
+	}
+}

@@ -1,0 +1,270 @@
+package iql
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/schema"
+	"repro/internal/sql"
+)
+
+// ToSQL translates the logical query into a SQL AST, inferring the
+// join path over s's foreign-key graph.
+func ToSQL(q *Query, s *schema.Schema) (*sql.SelectStmt, error) {
+	if s.Table(q.Entity) == nil {
+		return nil, fmt.Errorf("iql: unknown entity table %q", q.Entity)
+	}
+	plan, err := s.JoinPath(q.Tables())
+	if err != nil {
+		return nil, err
+	}
+
+	stmt := sql.NewSelect()
+	for _, t := range plan.Tables {
+		stmt.From = append(stmt.From, sql.TableRef{Table: t})
+	}
+
+	var where []sql.Expr
+	for _, jc := range plan.Conds {
+		where = append(where, sql.Cmp(sql.OpEq,
+			sql.Col(jc.Left.Table, jc.Left.Column),
+			sql.Col(jc.Right.Table, jc.Right.Column)))
+	}
+	for _, c := range q.Conds {
+		where = append(where, condExpr(c))
+	}
+	if q.Sub != nil {
+		sub, err := subquery(q.Sub, s)
+		if err != nil {
+			return nil, err
+		}
+		where = append(where, sql.Cmp(cmpOp(q.Sub.Op),
+			sql.Col(q.Sub.Field.Table, q.Sub.Field.Column),
+			&sql.SubqueryExpr{Sub: sub}))
+	}
+	stmt.Where = sql.And(where...)
+
+	outputs := q.Outputs
+	if len(outputs) == 0 {
+		t := s.Table(q.Entity)
+		outputs = []Output{{Field: FieldRef{Table: q.Entity, Column: t.NameColumn()}}}
+	}
+
+	entityGrouped := len(q.GroupBy) == 0 &&
+		(q.Having != nil || (q.Order != nil && (q.Order.Agg != lexicon.NoAgg || q.Order.CountRows)))
+
+	// Group keys.
+	var groupKeys []FieldRef
+	if len(q.GroupBy) > 0 {
+		groupKeys = q.GroupBy
+	} else if entityGrouped {
+		t := s.Table(q.Entity)
+		if t.PrimaryKey != "" {
+			groupKeys = append(groupKeys, FieldRef{Table: q.Entity, Column: t.PrimaryKey})
+		}
+		for _, o := range outputs {
+			if o.Agg == lexicon.NoAgg && !o.CountStar && !fieldIn(groupKeys, o.Field) {
+				groupKeys = append(groupKeys, o.Field)
+			}
+		}
+		if len(groupKeys) == 0 {
+			groupKeys = append(groupKeys, FieldRef{Table: q.Entity, Column: t.NameColumn()})
+		}
+	}
+
+	// Select items: explicit group keys are projected first so grouped
+	// answers read "group, aggregate...".
+	if len(q.GroupBy) > 0 {
+		for _, g := range q.GroupBy {
+			stmt.Items = append(stmt.Items, sql.SelectItem{Expr: sql.Col(g.Table, g.Column)})
+		}
+	}
+	for _, o := range outputs {
+		e, err := outputExpr(o, q, s)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, sql.SelectItem{Expr: e})
+	}
+
+	for _, g := range groupKeys {
+		stmt.GroupBy = append(stmt.GroupBy, sql.Col(g.Table, g.Column))
+	}
+
+	if q.Having != nil {
+		he, err := havingExpr(q.Having, s)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = he
+	}
+
+	if q.Order != nil {
+		oe, err := orderExpr(q.Order, s)
+		if err != nil {
+			return nil, err
+		}
+		stmt.OrderBy = []sql.OrderItem{{Expr: oe, Desc: q.Order.Desc}}
+		if q.Order.Limit > 0 {
+			stmt.Limit = q.Order.Limit
+		}
+	}
+
+	stmt.Distinct = q.Distinct
+	return stmt, nil
+}
+
+func fieldIn(fs []FieldRef, f FieldRef) bool {
+	for _, x := range fs {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+func condExpr(c Condition) sql.Expr {
+	col := sql.Col(c.Field.Table, c.Field.Column)
+	if c.Between {
+		return &sql.BetweenExpr{X: col, Lo: sql.Lit(c.Value), Hi: sql.Lit(c.Hi), Negated: c.Negated}
+	}
+	if len(c.In) > 0 {
+		list := make([]sql.Expr, len(c.In))
+		for i, v := range c.In {
+			list[i] = sql.Lit(v)
+		}
+		return &sql.InExpr{X: col, List: list, Negated: c.Negated}
+	}
+	if c.Like != "" {
+		return &sql.LikeExpr{X: col, Pattern: sql.Str(c.Like), Negated: c.Negated}
+	}
+	op := c.Op
+	if c.Negated && op == lexicon.Eq {
+		return sql.Cmp(sql.OpNe, col, sql.Lit(c.Value))
+	}
+	e := sql.Cmp(cmpOp(op), col, sql.Lit(c.Value))
+	if c.Negated {
+		return &sql.NotExpr{X: e}
+	}
+	return e
+}
+
+func cmpOp(op lexicon.CompareOp) sql.BinOp {
+	switch op {
+	case lexicon.Eq:
+		return sql.OpEq
+	case lexicon.Ne:
+		return sql.OpNe
+	case lexicon.Lt:
+		return sql.OpLt
+	case lexicon.Le:
+		return sql.OpLe
+	case lexicon.Gt:
+		return sql.OpGt
+	case lexicon.Ge:
+		return sql.OpGe
+	}
+	return sql.OpEq
+}
+
+func aggName(a lexicon.Agg) string { return a.String() }
+
+func outputExpr(o Output, q *Query, s *schema.Schema) (sql.Expr, error) {
+	if o.CountStar {
+		// COUNT(DISTINCT entity pk) is robust against fan-out from
+		// joined condition tables; fall back to COUNT(*) without a pk.
+		t := s.Table(q.Entity)
+		if t.PrimaryKey != "" && len(q.Tables()) > 1 {
+			return &sql.FuncCall{Name: "COUNT", Distinct: true,
+				Arg: sql.Col(q.Entity, t.PrimaryKey)}, nil
+		}
+		return &sql.FuncCall{Name: "COUNT", Star: true}, nil
+	}
+	if o.Field.Zero() {
+		return nil, fmt.Errorf("iql: output without field")
+	}
+	col := sql.Col(o.Field.Table, o.Field.Column)
+	if o.Agg == lexicon.NoAgg {
+		return col, nil
+	}
+	return &sql.FuncCall{Name: aggName(o.Agg), Distinct: o.Distinct, Arg: col}, nil
+}
+
+// countExpr counts rows of table within a group, preferring
+// COUNT(DISTINCT pk) for robustness against join fan-out.
+func countExpr(table string, s *schema.Schema) (sql.Expr, error) {
+	t := s.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("iql: unknown counted table %q", table)
+	}
+	if t.PrimaryKey != "" {
+		return &sql.FuncCall{Name: "COUNT", Distinct: true, Arg: sql.Col(table, t.PrimaryKey)}, nil
+	}
+	return &sql.FuncCall{Name: "COUNT", Star: true}, nil
+}
+
+func havingExpr(h *Having, s *schema.Schema) (sql.Expr, error) {
+	var agg sql.Expr
+	var err error
+	switch {
+	case h.CountTable != "":
+		agg, err = countExpr(h.CountTable, s)
+		if err != nil {
+			return nil, err
+		}
+	case h.Agg != lexicon.NoAgg && !h.Field.Zero():
+		agg = &sql.FuncCall{Name: aggName(h.Agg), Arg: sql.Col(h.Field.Table, h.Field.Column)}
+	default:
+		return nil, fmt.Errorf("iql: having clause needs an aggregate")
+	}
+	return sql.Cmp(cmpOp(h.Op), agg, sql.Number(h.Value)), nil
+}
+
+func orderExpr(o *OrderSpec, s *schema.Schema) (sql.Expr, error) {
+	switch {
+	case o.CountRows:
+		return countExpr(o.CountTable, s)
+	case o.Agg != lexicon.NoAgg:
+		if o.Field.Zero() {
+			return nil, fmt.Errorf("iql: aggregate order needs a field")
+		}
+		return &sql.FuncCall{Name: aggName(o.Agg), Arg: sql.Col(o.Field.Table, o.Field.Column)}, nil
+	case o.Field.Zero():
+		return nil, fmt.Errorf("iql: order needs a field")
+	}
+	return sql.Col(o.Field.Table, o.Field.Column), nil
+}
+
+// subquery builds the uncorrelated aggregate subquery of a SubCompare.
+func subquery(sc *SubCompare, s *schema.Schema) (*sql.SelectStmt, error) {
+	tables := []string{sc.SubField.Table}
+	for _, c := range sc.SubConds {
+		tables = append(tables, c.Field.Table)
+	}
+	plan, err := s.JoinPath(tables)
+	if err != nil {
+		return nil, err
+	}
+	sub := sql.NewSelect()
+	for _, t := range plan.Tables {
+		sub.From = append(sub.From, sql.TableRef{Table: t})
+	}
+	var where []sql.Expr
+	for _, jc := range plan.Conds {
+		where = append(where, sql.Cmp(sql.OpEq,
+			sql.Col(jc.Left.Table, jc.Left.Column),
+			sql.Col(jc.Right.Table, jc.Right.Column)))
+	}
+	for _, c := range sc.SubConds {
+		where = append(where, condExpr(c))
+	}
+	sub.Where = sql.And(where...)
+	if sc.Agg == lexicon.NoAgg {
+		return nil, fmt.Errorf("iql: nested comparison needs an aggregate")
+	}
+	sub.Items = []sql.SelectItem{{Expr: &sql.FuncCall{
+		Name: aggName(sc.Agg),
+		Arg:  sql.Col(sc.SubField.Table, sc.SubField.Column),
+	}}}
+	return sub, nil
+}

@@ -1,0 +1,88 @@
+// Package keyword implements the first baseline of the evaluation: an
+// early-system keyword interface in the BANKS/SQAK lineage. It drops
+// stopwords, looks the remaining words up in the semantic index, and
+// can express exactly one query shape — a single-table selection whose
+// conditions come from matched data values on that same table. It has
+// no notion of joins, comparisons, aggregation or ordering; questions
+// needing them either degrade to the expressible part or fail.
+package keyword
+
+import (
+	"fmt"
+
+	"repro/internal/iql"
+	"repro/internal/lexicon"
+	"repro/internal/semindex"
+	"repro/internal/sql"
+	"repro/internal/strutil"
+)
+
+// System is the keyword baseline.
+type System struct {
+	idx *semindex.Index
+}
+
+// New creates the baseline over a semantic index.
+func New(idx *semindex.Index) *System { return &System{idx: idx} }
+
+// Name identifies the system in reports.
+func (s *System) Name() string { return "keyword" }
+
+// Translate maps a question to SQL, or fails when no single-table
+// reading exists.
+func (s *System) Translate(question string) (*sql.SelectStmt, error) {
+	toks := strutil.Tokenize(question)
+	var kept []strutil.Token
+	for _, t := range toks {
+		if t.Kind == strutil.Word && lexicon.IsStopword(t.Lower) {
+			continue
+		}
+		if t.Kind == strutil.Punct {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	anns := s.idx.Annotate(kept)
+
+	// First table mention wins; otherwise the table of the first value.
+	entity := ""
+	for _, a := range anns {
+		if a.Kind == semindex.TableElem {
+			entity = a.Table
+			break
+		}
+	}
+	var values []semindex.Annotation
+	for _, a := range anns {
+		if a.Kind == semindex.ValueElem {
+			values = append(values, a)
+		}
+	}
+	if entity == "" {
+		for _, v := range values {
+			entity = v.Table
+			break
+		}
+	}
+	if entity == "" {
+		return nil, fmt.Errorf("keyword: no table or value keywords recognized")
+	}
+
+	// Only conditions on the entity's own table are expressible; keep
+	// the first per column, ignore the rest (silent degradation, as the
+	// early systems did).
+	q := &iql.Query{Entity: entity}
+	seenCol := map[string]bool{}
+	for _, v := range values {
+		if v.Table != entity || seenCol[v.Column] {
+			continue
+		}
+		seenCol[v.Column] = true
+		q.Conds = append(q.Conds, iql.Condition{
+			Field: iql.FieldRef{Table: v.Table, Column: v.Column},
+			Op:    lexicon.Eq,
+			Value: v.Value,
+		})
+	}
+	return iql.ToSQL(q, s.idx.Schema)
+}

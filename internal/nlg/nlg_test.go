@@ -1,0 +1,179 @@
+package nlg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/iql"
+	"repro/internal/lexicon"
+	"repro/internal/store"
+)
+
+func field(t, c string) iql.FieldRef { return iql.FieldRef{Table: t, Column: c} }
+
+func TestParaphraseListing(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{
+		Entity: "students",
+		Conds: []iql.Condition{{
+			Field: field("students", "gpa"), Op: lexicon.Gt, Value: store.Float(3.5),
+		}},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "list the students") {
+		t.Errorf("paraphrase = %q", p)
+	}
+	if !strings.Contains(p, "gpa of students is greater than 3.5") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestParaphraseAggregate(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{
+		Entity:  "instructors",
+		Outputs: []iql.Output{{Agg: lexicon.Avg, Field: field("instructors", "salary")}},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "compute the average salary of instructors") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestParaphraseCountAndGroup(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{
+		Entity:  "students",
+		Outputs: []iql.Output{{CountStar: true}},
+		GroupBy: []iql.FieldRef{field("departments", "name")},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "number of students") || !strings.Contains(p, "grouped by name of departments") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestParaphraseSuperlative(t *testing.T) {
+	s := dataset.GeoSchema()
+	q := &iql.Query{
+		Entity: "rivers",
+		Order:  &iql.OrderSpec{Field: field("rivers", "length"), Desc: true, Limit: 1},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "taking the one with the highest length") {
+		t.Errorf("paraphrase = %q", p)
+	}
+	q.Order.Limit = 5
+	if p := Paraphrase(q, s); !strings.Contains(p, "taking the 5 with the highest") {
+		t.Errorf("paraphrase = %q", p)
+	}
+	q.Order.Limit = 0
+	q.Order.Desc = false
+	if p := Paraphrase(q, s); !strings.Contains(p, "sorted by length") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestParaphraseHavingAndNested(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{
+		Entity: "students",
+		Having: &iql.Having{CountTable: "enrollments", Op: lexicon.Gt, Value: 2},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "number of enrollments") || !strings.Contains(p, "greater than 2") {
+		t.Errorf("paraphrase = %q", p)
+	}
+	q = &iql.Query{
+		Entity: "instructors",
+		Sub: &iql.SubCompare{
+			Field: field("instructors", "salary"), Op: lexicon.Gt,
+			Agg: lexicon.Avg, SubField: field("instructors", "salary"),
+		},
+	}
+	p = Paraphrase(q, s)
+	if !strings.Contains(p, "greater than the average salary") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestParaphraseNegationAndBetween(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{
+		Entity: "students",
+		Conds: []iql.Condition{
+			{Field: field("departments", "name"), Op: lexicon.Eq, Value: store.Text("History"), Negated: true},
+			{Field: field("students", "gpa"), Value: store.Float(3), Hi: store.Float(4), Between: true},
+		},
+	}
+	p := Paraphrase(q, s)
+	if !strings.Contains(p, "is not 'History'") {
+		t.Errorf("paraphrase = %q", p)
+	}
+	if !strings.Contains(p, "between 3 and 4") {
+		t.Errorf("paraphrase = %q", p)
+	}
+}
+
+func TestRespondScalar(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "students", Outputs: []iql.Output{{CountStar: true}}}
+	res := &exec.Result{Cols: []string{"COUNT(*)"}, Rows: []store.Row{{store.Int(42)}}}
+	if r := Respond(q, res, s); !strings.Contains(r, "There are 42 matching students") {
+		t.Errorf("respond = %q", r)
+	}
+	q = &iql.Query{Entity: "instructors",
+		Outputs: []iql.Output{{Agg: lexicon.Avg, Field: field("instructors", "salary")}}}
+	res = &exec.Result{Cols: []string{"AVG"}, Rows: []store.Row{{store.Float(78750)}}}
+	if r := Respond(q, res, s); !strings.Contains(r, "average salary of instructors is 78750") {
+		t.Errorf("respond = %q", r)
+	}
+}
+
+func TestRespondListing(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "students"}
+	res := &exec.Result{Cols: []string{"name"}, Rows: []store.Row{
+		{store.Text("Ada")}, {store.Text("Bob")},
+	}}
+	r := Respond(q, res, s)
+	if !strings.Contains(r, "Found 2 matching students: Ada, Bob.") {
+		t.Errorf("respond = %q", r)
+	}
+}
+
+func TestRespondListingTruncates(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "students"}
+	var rows []store.Row
+	for i := 0; i < 25; i++ {
+		rows = append(rows, store.Row{store.Int(int64(i))})
+	}
+	r := Respond(q, &exec.Result{Cols: []string{"id"}, Rows: rows}, s)
+	if !strings.Contains(r, "and 15 more") {
+		t.Errorf("respond = %q", r)
+	}
+}
+
+func TestRespondEmptyAndNil(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "students"}
+	if r := Respond(q, &exec.Result{Cols: []string{"name"}}, s); !strings.Contains(r, "No matching students") {
+		t.Errorf("respond = %q", r)
+	}
+	if r := Respond(q, nil, s); !strings.Contains(r, "could not") {
+		t.Errorf("respond = %q", r)
+	}
+}
+
+func TestRespondSingleCellNonAggregate(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "departments",
+		Outputs: []iql.Output{{Field: field("departments", "budget")}}}
+	res := &exec.Result{Cols: []string{"budget"}, Rows: []store.Row{{store.Float(2500000)}}}
+	if r := Respond(q, res, s); !strings.Contains(r, "The answer is 2500000") {
+		t.Errorf("respond = %q", r)
+	}
+}

@@ -1,0 +1,212 @@
+// Package pattern implements the second baseline: a fixed-template
+// question matcher in the RENDEZVOUS lineage. A small, closed list of
+// sentence patterns is tried in order; each pattern fills slots from
+// the semantic index and emits one fixed query shape. Unlike the full
+// grammar it has no compositional post-modifiers: one condition, no
+// grouping, no negation, no nesting.
+package pattern
+
+import (
+	"fmt"
+
+	c "repro/internal/combinator"
+	"repro/internal/iql"
+	"repro/internal/lexicon"
+	"repro/internal/semindex"
+	"repro/internal/sql"
+	"repro/internal/store"
+	"repro/internal/strutil"
+)
+
+// System is the pattern baseline.
+type System struct {
+	idx *semindex.Index
+}
+
+// New creates the baseline over a semantic index.
+func New(idx *semindex.Index) *System { return &System{idx: idx} }
+
+// Name identifies the system in reports.
+func (s *System) Name() string { return "pattern" }
+
+type tk = strutil.Token
+
+// Translate matches the question against the fixed templates.
+func (s *System) Translate(question string) (*sql.SelectStmt, error) {
+	toks := strutil.Tokenize(question)
+	var clean []tk
+	for _, t := range toks {
+		if t.Kind == strutil.Punct {
+			continue
+		}
+		clean = append(clean, t)
+	}
+	anns := s.idx.Annotate(clean)
+	byStart := map[int][]semindex.Annotation{}
+	for _, a := range anns {
+		byStart[a.Start] = append(byStart[a.Start], a)
+	}
+	m := &matcher{idx: s.idx, anns: byStart}
+
+	for _, tpl := range m.templates() {
+		if qs := c.ParseAll(tpl, clean); len(qs) > 0 {
+			return iql.ToSQL(qs[0], s.idx.Schema)
+		}
+	}
+	return nil, fmt.Errorf("pattern: question matches no template")
+}
+
+type matcher struct {
+	idx  *semindex.Index
+	anns map[int][]semindex.Annotation
+}
+
+func (m *matcher) table() c.Parser[tk, string] {
+	return func(toks []tk, pos int) []c.Result[string] {
+		var out []c.Result[string]
+		for _, a := range m.anns[pos] {
+			if a.Kind == semindex.TableElem {
+				out = append(out, c.Result[string]{Value: a.Table, Next: a.End})
+			}
+		}
+		return out
+	}
+}
+
+func (m *matcher) column() c.Parser[tk, iql.FieldRef] {
+	return func(toks []tk, pos int) []c.Result[iql.FieldRef] {
+		var out []c.Result[iql.FieldRef]
+		for _, a := range m.anns[pos] {
+			if a.Kind == semindex.ColumnElem {
+				out = append(out, c.Result[iql.FieldRef]{
+					Value: iql.FieldRef{Table: a.Table, Column: a.Column}, Next: a.End})
+			}
+		}
+		return out
+	}
+}
+
+func (m *matcher) value() c.Parser[tk, semindex.Annotation] {
+	return func(toks []tk, pos int) []c.Result[semindex.Annotation] {
+		var out []c.Result[semindex.Annotation]
+		for _, a := range m.anns[pos] {
+			if a.Kind == semindex.ValueElem {
+				out = append(out, c.Result[semindex.Annotation]{Value: a, Next: a.End})
+			}
+		}
+		return out
+	}
+}
+
+func lit(ws ...string) c.Parser[tk, tk] {
+	set := map[string]bool{}
+	for _, w := range ws {
+		set[w] = true
+	}
+	return c.Satisfy(func(t tk) bool { return t.Kind == strutil.Word && set[t.Lower] })
+}
+
+func optLit(ws ...string) c.Parser[tk, struct{}] {
+	return c.Opt(c.Map(lit(ws...), func(tk) struct{} { return struct{}{} }), struct{}{})
+}
+
+func fill() c.Parser[tk, struct{}] {
+	return c.Map(c.Many(lit("the", "a", "an", "all", "me", "of", "is", "are")),
+		func([]tk) struct{} { return struct{}{} })
+}
+
+func num() c.Parser[tk, float64] {
+	return c.Map(c.Satisfy(func(t tk) bool { return t.Kind == strutil.Number }),
+		func(t tk) float64 {
+			v, _ := strutil.ParseNumber(t.Lower)
+			return v
+		})
+}
+
+// templates returns the fixed pattern list, most specific first.
+func (m *matcher) templates() []c.Parser[tk, *iql.Query] {
+	opener := c.Then(optLit("show", "list", "display", "give", "find", "get", "what", "which", "who"), fill())
+	table := m.table()
+	column := m.column()
+	value := m.value()
+
+	valueCond := func(a semindex.Annotation) iql.Condition {
+		return iql.Condition{
+			Field: iql.FieldRef{Table: a.Table, Column: a.Column},
+			Op:    lexicon.Eq, Value: a.Value,
+		}
+	}
+
+	// T1: how many TABLE [in VALUE]
+	howMany := c.Seq4(lit("how"), lit("many"), table,
+		c.Opt(c.Map(c.Then(c.Then(optLit("in", "from", "at"), fill()), value),
+			func(a semindex.Annotation) *semindex.Annotation { return &a }), nil),
+		func(_, _ tk, t string, v *semindex.Annotation) *iql.Query {
+			q := &iql.Query{Entity: t, Outputs: []iql.Output{{CountStar: true}}}
+			if v != nil {
+				q.Conds = []iql.Condition{valueCond(*v)}
+			}
+			return q
+		})
+
+	// T2: AGG COLUMN of TABLE
+	aggWord := c.Map(c.Satisfy(func(t tk) bool {
+		a, ok := lexicon.Aggregates[t.Lower]
+		return t.Kind == strutil.Word && ok && a != lexicon.Count
+	}), func(t tk) lexicon.Agg { return lexicon.Aggregates[t.Lower] })
+	agg := c.Seq4(c.Then(opener, c.Then(fill(), aggWord)), c.Then(fill(), column),
+		optLit("of", "for"), c.Opt(c.Then(fill(), table), ""),
+		func(a lexicon.Agg, col iql.FieldRef, _ struct{}, t string) *iql.Query {
+			entity := t
+			if entity == "" {
+				entity = col.Table
+			}
+			return &iql.Query{Entity: entity, Outputs: []iql.Output{{Agg: a, Field: col}}}
+		})
+
+	// T3: which TABLE has the SUPER COLUMN
+	superWord := c.Map(c.Satisfy(func(t tk) bool {
+		_, ok := lexicon.Superlatives[t.Lower]
+		return t.Kind == strutil.Word && ok
+	}), func(t tk) lexicon.Superlative { return lexicon.Superlatives[t.Lower] })
+	super := c.Seq4(c.Then(opener, table), c.Then(lit("has", "have", "with"), fill()),
+		superWord, c.Then(fill(), column),
+		func(t string, _ struct{}, sup lexicon.Superlative, col iql.FieldRef) *iql.Query {
+			return &iql.Query{Entity: t, Order: &iql.OrderSpec{Field: col, Desc: sup.Desc, Limit: 1}}
+		})
+
+	// T4: TABLE with COLUMN over/under N
+	cmpWord := c.Map(lit("over", "above", "under", "below"), func(t tk) lexicon.CompareOp {
+		if t.Lower == "over" || t.Lower == "above" {
+			return lexicon.Gt
+		}
+		return lexicon.Lt
+	})
+	cmp := c.Seq4(c.Then(opener, table), c.Then(lit("with", "whose", "having"), c.Then(fill(), column)),
+		cmpWord, num(),
+		func(t string, col iql.FieldRef, op lexicon.CompareOp, n float64) *iql.Query {
+			return &iql.Query{Entity: t, Conds: []iql.Condition{{
+				Field: col, Op: op, Value: store.Float(n),
+			}}}
+		})
+
+	// T5: TABLE in VALUE (single equality, join allowed through ToSQL
+	// but the pattern itself is one-slot)
+	list := c.Seq3(c.Then(opener, table),
+		c.Then(c.Then(optLit("in", "from", "at", "named", "called"), fill()), value),
+		c.Opt(c.Map(table, func(s string) string { return s }), ""),
+		func(t string, v semindex.Annotation, _ string) *iql.Query {
+			q := &iql.Query{Entity: t, Conds: []iql.Condition{valueCond(v)}}
+			if t != v.Table {
+				q.Distinct = true
+			}
+			return q
+		})
+
+	// T6: bare TABLE listing
+	bare := c.Map(c.Then(opener, table), func(t string) *iql.Query {
+		return &iql.Query{Entity: t}
+	})
+
+	return []c.Parser[tk, *iql.Query]{howMany, agg, super, cmp, list, bare}
+}

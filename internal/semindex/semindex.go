@@ -1,0 +1,393 @@
+// Package semindex builds the semantic index of a database: a name
+// index over schema elements (tables and columns, with synonyms,
+// singular/plural forms and stems) and an inverted value index over the
+// stored data (the mechanism that lets "Amsterdam" resolve to
+// cities.name). Given a tokenized question it produces span
+// annotations — the Evidence Set of the rule-based architecture — and
+// supplies the vocabulary for spelling correction.
+//
+// Every knowledge source is individually switchable (Options) so the
+// lexicon-ablation experiment (T2) can measure its contribution.
+package semindex
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/strutil"
+)
+
+// ElemKind classifies what an annotation refers to.
+type ElemKind int
+
+const (
+	TableElem ElemKind = iota
+	ColumnElem
+	ValueElem
+)
+
+func (k ElemKind) String() string {
+	switch k {
+	case TableElem:
+		return "table"
+	case ColumnElem:
+		return "column"
+	case ValueElem:
+		return "value"
+	}
+	return "?"
+}
+
+// Annotation is one span → schema-element association.
+type Annotation struct {
+	Start, End int // token span [Start, End)
+	Kind       ElemKind
+	Table      string
+	Column     string      // set for ColumnElem and ValueElem
+	Value      store.Value // set for ValueElem: the exact stored value
+	Score      float64     // match quality in (0, 1]
+	Surface    string      // the matched question text
+}
+
+// Len returns the span length in tokens.
+func (a Annotation) Len() int { return a.End - a.Start }
+
+// Options selects the knowledge sources for the index.
+type Options struct {
+	Synonyms bool // table/column synonyms from the schema
+	Stems    bool // Porter-stem fallback matching
+	Values   bool // inverted index over stored text values
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options { return Options{Synonyms: true, Stems: true, Values: true} }
+
+// match scores for the different knowledge sources.
+const (
+	scoreExact    = 1.0
+	scoreSingular = 0.9
+	scoreSynonym  = 0.85
+	scoreStem     = 0.7
+	scoreValue    = 1.0
+)
+
+// maxValueDistinct caps how many distinct values of a non-NameLike text
+// column are indexed; columns beyond the cap (free text) are skipped,
+// the way era systems bounded their dictionaries.
+const maxValueDistinct = 2000
+
+type nameEntry struct {
+	kind   ElemKind
+	table  string
+	column string
+	score  float64
+}
+
+type valueEntry struct {
+	table  string
+	column string
+	value  store.Value
+}
+
+// Index is the semantic index of one database.
+type Index struct {
+	Schema *schema.Schema
+	Opts   Options
+	Vocab  *lexicon.Vocabulary
+
+	names       map[string][]nameEntry // normalized phrase -> elements
+	stemNames   map[string][]nameEntry // stemmed phrase -> elements
+	values      map[string][]valueEntry
+	maxNameLen  int // longest registered name phrase, in words
+	maxValueLen int
+}
+
+// Build constructs the index for db.
+func Build(db *store.DB, opts Options) *Index {
+	idx := &Index{
+		Schema:    db.Schema,
+		Opts:      opts,
+		Vocab:     lexicon.NewVocabulary(),
+		names:     map[string][]nameEntry{},
+		stemNames: map[string][]nameEntry{},
+		values:    map[string][]valueEntry{},
+	}
+	idx.Vocab.Add(lexicon.FunctionWords()...)
+
+	for _, t := range db.Schema.Tables {
+		idx.registerName(t.Name, nameEntry{kind: TableElem, table: t.Name, score: scoreExact})
+		if opts.Synonyms {
+			for _, syn := range t.Synonyms {
+				idx.registerName(syn, nameEntry{kind: TableElem, table: t.Name, score: scoreSynonym})
+			}
+		}
+		for _, c := range t.Columns {
+			e := nameEntry{kind: ColumnElem, table: t.Name, column: c.Name, score: scoreExact}
+			idx.registerName(c.Name, e)
+			if opts.Synonyms {
+				for _, syn := range c.Synonyms {
+					se := e
+					se.score = scoreSynonym
+					idx.registerName(syn, se)
+				}
+			}
+		}
+	}
+
+	if opts.Values {
+		for _, t := range db.Schema.Tables {
+			tab := db.Table(t.Name)
+			for ci, c := range t.Columns {
+				if c.Type != schema.Text {
+					continue
+				}
+				distinct := map[string]store.Value{}
+				over := false
+				for _, row := range tab.Rows() {
+					v := row[ci]
+					if v.IsNull() {
+						continue
+					}
+					distinct[v.Str()] = v
+					if !c.NameLike && len(distinct) > maxValueDistinct {
+						over = true
+						break
+					}
+				}
+				if over {
+					continue
+				}
+				for s, v := range distinct {
+					idx.registerValue(s, valueEntry{table: t.Name, column: c.Name, value: v})
+				}
+			}
+		}
+	}
+	// Finalize the vocabulary's sorted view now, so a fully built index
+	// is safe for concurrent readers (Correct sorts lazily otherwise).
+	idx.Vocab.Words()
+	return idx
+}
+
+// registerName indexes a phrase under its normalized, singularized and
+// (optionally) stemmed forms.
+func (idx *Index) registerName(phrase string, e nameEntry) {
+	words := strings.Fields(strutil.Normalize(phrase))
+	if len(words) == 0 {
+		return
+	}
+	idx.Vocab.Add(words...)
+	key := strings.Join(words, " ")
+	idx.addName(idx.names, key, e)
+	if len(words) > idx.maxNameLen {
+		idx.maxNameLen = len(words)
+	}
+
+	// Singular and plural of the head (final) word, so "order items",
+	// "order item", "professor" and "professors" all resolve.
+	for _, form := range []string{
+		lexicon.Singular(words[len(words)-1]),
+		lexicon.Plural(words[len(words)-1]),
+	} {
+		alt := append([]string{}, words...)
+		alt[len(alt)-1] = form
+		if akey := strings.Join(alt, " "); akey != key {
+			se := e
+			se.score = min(se.score, scoreSingular)
+			idx.addName(idx.names, akey, se)
+			idx.Vocab.Add(form)
+		}
+	}
+
+	if idx.Opts.Stems {
+		stemmed := make([]string, len(words))
+		for i, w := range words {
+			stemmed[i] = strutil.Stem(w)
+		}
+		if stKey := strings.Join(stemmed, " "); stKey != key {
+			se := e
+			se.score = scoreStem
+			idx.addName(idx.stemNames, stKey, se)
+		}
+	}
+}
+
+func (idx *Index) addName(m map[string][]nameEntry, key string, e nameEntry) {
+	for _, old := range m[key] {
+		if old.kind == e.kind && old.table == e.table && old.column == e.column {
+			return // keep the first (highest-priority) registration
+		}
+	}
+	m[key] = append(m[key], e)
+}
+
+func (idx *Index) registerValue(s string, e valueEntry) {
+	words := strings.Fields(strutil.Normalize(s))
+	if len(words) == 0 || len(words) > 5 {
+		return
+	}
+	idx.Vocab.Add(words...)
+	key := strings.Join(words, " ")
+	for _, old := range idx.values[key] {
+		if old.table == e.table && old.column == e.column && old.value.Key() == e.value.Key() {
+			return
+		}
+	}
+	idx.values[key] = append(idx.values[key], e)
+	if len(words) > idx.maxValueLen {
+		idx.maxValueLen = len(words)
+	}
+}
+
+// Annotate produces all span annotations over the tokens. For each
+// start position it applies longest-match per knowledge source (names
+// and values independently), preserving genuine ambiguity: one span may
+// map to several schema elements.
+func (idx *Index) Annotate(toks []strutil.Token) []Annotation {
+	var out []Annotation
+	lowers := strutil.Lowers(toks)
+	for start := 0; start < len(toks); start++ {
+		out = append(out, idx.nameMatchesAt(toks, lowers, start)...)
+		out = append(out, idx.valueMatchesAt(toks, lowers, start)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() > out[j].Len()
+		}
+		return out[i].Score > out[j].Score
+	})
+	return out
+}
+
+func (idx *Index) nameMatchesAt(toks []strutil.Token, lowers []string, start int) []Annotation {
+	maxL := idx.maxNameLen
+	if start+maxL > len(toks) {
+		maxL = len(toks) - start
+	}
+	for l := maxL; l >= 1; l-- {
+		key := strings.Join(lowers[start:start+l], " ")
+		entries := idx.names[key]
+		if len(entries) == 0 && idx.Opts.Stems {
+			stemmed := make([]string, l)
+			for i, w := range lowers[start : start+l] {
+				stemmed[i] = strutil.Stem(w)
+			}
+			stemKey := strings.Join(stemmed, " ")
+			entries = idx.stemNames[stemKey]
+			if len(entries) == 0 {
+				// The stem of the question word may be a registered
+				// name verbatim ("professors" -> "professor").
+				for _, e := range idx.names[stemKey] {
+					e.score = scoreStem
+					entries = append(entries, e)
+				}
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		var out []Annotation
+		for _, e := range entries {
+			out = append(out, Annotation{
+				Start: start, End: start + l,
+				Kind: e.kind, Table: e.table, Column: e.column,
+				Score: e.score, Surface: key,
+			})
+		}
+		return out
+	}
+	return nil
+}
+
+func (idx *Index) valueMatchesAt(toks []strutil.Token, lowers []string, start int) []Annotation {
+	maxL := idx.maxValueLen
+	if start+maxL > len(toks) {
+		maxL = len(toks) - start
+	}
+	for l := maxL; l >= 1; l-- {
+		key := strings.Join(lowers[start:start+l], " ")
+		entries := idx.values[key]
+		if len(entries) == 0 {
+			continue
+		}
+		// Single-letter values (grades "A".."F") only match when the
+		// question writes them in upper case, so articles don't turn
+		// into grade conditions.
+		if l == 1 && len(key) == 1 && toks[start].Text == key {
+			continue
+		}
+		var out []Annotation
+		for _, e := range entries {
+			out = append(out, Annotation{
+				Start: start, End: start + l,
+				Kind: ValueElem, Table: e.table, Column: e.column,
+				Value: e.value, Score: scoreValue, Surface: key,
+			})
+		}
+		return out
+	}
+	return nil
+}
+
+// Correction records one spelling repair for the user-facing echo.
+type Correction struct {
+	From, To string
+	Pos      int
+}
+
+// Correct repairs unknown words against the index vocabulary within
+// maxDist Damerau-Levenshtein edits. Numbers, quoted tokens and known
+// words pass through.
+func (idx *Index) Correct(toks []strutil.Token, maxDist int) ([]strutil.Token, []Correction) {
+	if maxDist <= 0 {
+		return toks, nil
+	}
+	out := make([]strutil.Token, len(toks))
+	copy(out, toks)
+	var fixes []Correction
+	for i, t := range toks {
+		if t.Kind != strutil.Word {
+			continue
+		}
+		if idx.Vocab.Contains(t.Lower) {
+			continue
+		}
+		fixed, ok := idx.Vocab.Correct(t.Lower, maxDist)
+		if !ok {
+			continue
+		}
+		fixes = append(fixes, Correction{From: t.Lower, To: fixed, Pos: i})
+		out[i] = strutil.Token{Text: fixed, Lower: fixed, Kind: strutil.Word, Pos: t.Pos}
+	}
+	return out, fixes
+}
+
+// ColumnType reports the type of table.column.
+func (idx *Index) ColumnType(table, column string) (schema.ColType, bool) {
+	t := idx.Schema.Table(table)
+	if t == nil {
+		return 0, false
+	}
+	c := t.Column(column)
+	if c == nil {
+		return 0, false
+	}
+	return c.Type, true
+}
+
+// NameCount and ValueCount expose index sizes for diagnostics.
+func (idx *Index) NameCount() int  { return len(idx.names) + len(idx.stemNames) }
+func (idx *Index) ValueCount() int { return len(idx.values) }
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

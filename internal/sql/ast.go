@@ -1,0 +1,401 @@
+// Package sql implements the SQL subset of the system: an AST, a
+// lexer, a recursive-descent parser and a canonical printer. The
+// natural language pipeline *generates* this AST (via internal/iql) and
+// the benchmark corpus *parses* gold queries with it; both sides then
+// execute through internal/exec, so equivalence is checked on results,
+// not on strings.
+//
+// Supported grammar (documented here as the single source of truth):
+//
+//	SELECT [DISTINCT] item [, item]...
+//	FROM table [alias] [, table [alias]]...
+//	[WHERE expr]
+//	[GROUP BY expr [, expr]...]
+//	[HAVING expr]
+//	[ORDER BY expr [ASC|DESC] [, ...]]
+//	[LIMIT n]
+//
+// with expressions over columns, literals, arithmetic, comparisons,
+// AND/OR/NOT, IN (list | subquery), EXISTS, BETWEEN, LIKE, IS [NOT]
+// NULL, scalar subqueries, and the aggregates COUNT/SUM/AVG/MIN/MAX
+// (COUNT(*), COUNT(DISTINCT x)).
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/store"
+)
+
+// SelectStmt is a (possibly nested) SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Star  bool // SELECT *
+	Expr  Expr // nil when Star
+	Alias string
+}
+
+// TableRef names a table in FROM, with optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the name the table is addressed by in the query.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is any SQL expression node.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// ColumnRef references a column, optionally qualified.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val store.Value
+}
+
+// BinOp is a binary operator.
+type BinOp int
+
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// IsComparison reports whether the operator compares values.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	X Expr
+}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	X Expr
+}
+
+// FuncCall is an aggregate invocation.
+type FuncCall struct {
+	Name     string // upper-case: COUNT, SUM, AVG, MIN, MAX
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT x)
+	Arg      Expr   // nil when Star
+}
+
+// InExpr is "x [NOT] IN (list)" or "x [NOT] IN (subquery)".
+type InExpr struct {
+	X       Expr
+	List    []Expr      // nil when Sub is set
+	Sub     *SelectStmt // nil when List is set
+	Negated bool
+}
+
+// ExistsExpr is "[NOT] EXISTS (subquery)".
+type ExistsExpr struct {
+	Sub     *SelectStmt
+	Negated bool
+}
+
+// SubqueryExpr is a scalar subquery usable as a value.
+type SubqueryExpr struct {
+	Sub *SelectStmt
+}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negated   bool
+}
+
+// LikeExpr is "x [NOT] LIKE pattern" with % and _ wildcards.
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Negated bool
+}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X       Expr
+	Negated bool
+}
+
+func (ColumnRef) isExpr()     {}
+func (Literal) isExpr()       {}
+func (*BinaryExpr) isExpr()   {}
+func (*NotExpr) isExpr()      {}
+func (*NegExpr) isExpr()      {}
+func (*FuncCall) isExpr()     {}
+func (*InExpr) isExpr()       {}
+func (*ExistsExpr) isExpr()   {}
+func (*SubqueryExpr) isExpr() {}
+func (*BetweenExpr) isExpr()  {}
+func (*LikeExpr) isExpr()     {}
+func (*IsNullExpr) isExpr()   {}
+
+// Col is shorthand for a qualified column reference.
+func Col(table, column string) ColumnRef { return ColumnRef{Table: table, Column: column} }
+
+// Lit wraps a store value as a literal.
+func Lit(v store.Value) Literal { return Literal{Val: v} }
+
+// Number makes a numeric literal, using INT when v is integral.
+func Number(v float64) Literal {
+	if v == float64(int64(v)) {
+		return Lit(store.Int(int64(v)))
+	}
+	return Lit(store.Float(v))
+}
+
+// Str makes a text literal.
+func Str(s string) Literal { return Lit(store.Text(s)) }
+
+// And conjoins expressions, dropping nils; returns nil when all are nil.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Cmp builds a comparison.
+func Cmp(op BinOp, l, r Expr) Expr { return &BinaryExpr{Op: op, L: l, R: r} }
+
+// ---- canonical printing ----
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+func (l Literal) String() string {
+	v := l.Val
+	if v.Kind() == store.KindText {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+func (n *NotExpr) String() string { return "(NOT " + n.X.String() + ")" }
+
+func (n *NegExpr) String() string { return "(-" + n.X.String() + ")" }
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	if f.Distinct {
+		return f.Name + "(DISTINCT " + f.Arg.String() + ")"
+	}
+	return f.Name + "(" + f.Arg.String() + ")"
+}
+
+func (i *InExpr) String() string {
+	var b strings.Builder
+	b.WriteString(i.X.String())
+	if i.Negated {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	if i.Sub != nil {
+		b.WriteString(i.Sub.String())
+	} else {
+		for j, e := range i.List {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (e *ExistsExpr) String() string {
+	s := "EXISTS (" + e.Sub.String() + ")"
+	if e.Negated {
+		return "NOT " + s
+	}
+	return s
+}
+
+func (s *SubqueryExpr) String() string { return "(" + s.Sub.String() + ")" }
+
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Negated {
+		not = "NOT "
+	}
+	return b.X.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+func (l *LikeExpr) String() string {
+	not := ""
+	if l.Negated {
+		not = "NOT "
+	}
+	return l.X.String() + " " + not + "LIKE " + l.Pattern.String()
+}
+
+func (i *IsNullExpr) String() string {
+	if i.Negated {
+		return i.X.String() + " IS NOT NULL"
+	}
+	return i.X.String() + " IS NULL"
+}
+
+// String renders the statement as canonical SQL.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+		} else {
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + store.Int(int64(s.Limit)).String())
+	}
+	return b.String()
+}
+
+// NewSelect returns an empty statement with Limit disabled.
+func NewSelect() *SelectStmt { return &SelectStmt{Limit: -1} }

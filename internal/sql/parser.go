@@ -1,0 +1,536 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse panicking on error, for statically known queries
+// in tests and corpora.
+func MustParse(src string) *SelectStmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.cur(); t.kind == tkKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.cur(); t.kind == tkOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %q", op, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := NewSelect()
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tkNumber {
+			return nil, p.errorf("expected LIMIT count, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		p.advance()
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.cur()
+		if t.kind != tkIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %q", t.text)
+		}
+		p.advance()
+		item.Alias = t.text
+	} else if t := p.cur(); t.kind == tkIdent {
+		// Bare alias: SELECT salary pay FROM ...
+		p.advance()
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return TableRef{}, p.errorf("expected table name, found %q", t.text)
+	}
+	p.advance()
+	ref := TableRef{Table: t.text}
+	if a := p.cur(); a.kind == tkIdent {
+		p.advance()
+		ref.Alias = a.text
+	}
+	return ref, nil
+}
+
+// parseExpr parses with precedence OR < AND < NOT < predicate <
+// additive < multiplicative < unary < primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.acceptKeyword("EXISTS") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	}
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison.
+	if t := p.cur(); t.kind == tkOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if t := p.cur(); t.kind == tkKeyword && t.text == "NOT" {
+		// Lookahead for NOT IN / NOT BETWEEN / NOT LIKE.
+		next := p.toks[p.pos+1]
+		if next.kind == tkKeyword && (next.text == "IN" || next.text == "BETWEEN" || next.text == "LIKE") {
+			p.advance()
+			negated = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		return p.parseInTail(l, negated)
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Negated: negated}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{X: l, Pattern: pat, Negated: negated}, nil
+	case p.acceptKeyword("IS"):
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Negated: neg}, nil
+	}
+	if negated {
+		return nil, p.errorf("dangling NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Expr, negated bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tkKeyword && t.text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: l, Sub: sub, Negated: negated}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{X: l, List: list, Negated: negated}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: OpAdd, L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: OpMul, L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return Lit(store.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return Lit(store.Int(i)), nil
+	case tkString:
+		p.advance()
+		return Lit(store.Text(t.text)), nil
+	case tkKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return Lit(store.Bool(true)), nil
+		case "FALSE":
+			p.advance()
+			return Lit(store.Bool(false)), nil
+		case "NULL":
+			p.advance()
+			return Lit(store.Null()), nil
+		}
+		return nil, p.errorf("unexpected keyword %q", t.text)
+	case tkIdent:
+		p.advance()
+		name := t.text
+		// Function call?
+		if p.acceptOp("(") {
+			up := strings.ToUpper(name)
+			if !aggNames[up] {
+				return nil, p.errorf("unknown function %q", name)
+			}
+			fc := &FuncCall{Name: up}
+			if p.acceptOp("*") {
+				fc.Star = true
+			} else {
+				fc.Distinct = p.acceptKeyword("DISTINCT")
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Arg = arg
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			if fc.Star && fc.Name != "COUNT" {
+				return nil, p.errorf("%s(*) is not valid", fc.Name)
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			c := p.cur()
+			if c.kind != tkIdent {
+				return nil, p.errorf("expected column after %q.", name)
+			}
+			p.advance()
+			return ColumnRef{Table: name, Column: c.text}, nil
+		}
+		return ColumnRef{Column: name}, nil
+	case tkOp:
+		if t.text == "(" {
+			p.advance()
+			if s := p.cur(); s.kind == tkKeyword && s.text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Table holds the rows of one relation plus optional hash indexes.
+type Table struct {
+	Meta   *schema.Table
+	rows   []Row
+	colIdx map[string]int
+	hash   map[string]map[string][]int // column -> value key -> row ids
+}
+
+// NewTable creates an empty table for the given schema table.
+func NewTable(meta *schema.Table) *Table {
+	t := &Table{
+		Meta:   meta,
+		colIdx: make(map[string]int, len(meta.Columns)),
+		hash:   make(map[string]map[string][]int),
+	}
+	for i, c := range meta.Columns {
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the table's rows. Callers must not mutate them.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Row returns row i.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Insert appends a row after validating arity and column types. INT
+// values are accepted into FLOAT columns (widening); NULL is accepted
+// anywhere. Indexes are maintained.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.Meta.Columns) {
+		return fmt.Errorf("store: table %s expects %d values, got %d",
+			t.Meta.Name, len(t.Meta.Columns), len(vals))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		coerced, err := coerce(v, t.Meta.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("store: table %s column %s: %w",
+				t.Meta.Name, t.Meta.Columns[i].Name, err)
+		}
+		row[i] = coerced
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, idx := range t.hash {
+		ci := t.colIdx[col]
+		k := row[ci].Key()
+		idx[k] = append(idx[k], id)
+	}
+	return nil
+}
+
+func coerce(v Value, want schema.ColType) (Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch want {
+	case schema.Int:
+		if v.Kind() == KindInt {
+			return v, nil
+		}
+	case schema.Float:
+		switch v.Kind() {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return Float(float64(v.Int64())), nil
+		}
+	case schema.Text:
+		if v.Kind() == KindText {
+			return v, nil
+		}
+	case schema.Bool:
+		if v.Kind() == KindBool {
+			return v, nil
+		}
+	}
+	return Value{}, fmt.Errorf("cannot store %s value into %s column", v.Kind(), want)
+}
+
+// BuildIndex creates (or rebuilds) a hash index on the named column.
+func (t *Table) BuildIndex(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("store: table %s has no column %s", t.Meta.Name, col)
+	}
+	idx := make(map[string][]int)
+	for id, row := range t.rows {
+		k := row[ci].Key()
+		idx[k] = append(idx[k], id)
+	}
+	t.hash[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the column has a hash index.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.hash[col]
+	return ok
+}
+
+// LookupIndex returns the ids of rows whose column equals v, using the
+// hash index. The second result is false when no index exists.
+func (t *Table) LookupIndex(col string, v Value) ([]int, bool) {
+	idx, ok := t.hash[col]
+	if !ok {
+		return nil, false
+	}
+	return idx[v.Key()], true
+}
+
+// DB is a collection of populated tables bound to a schema.
+type DB struct {
+	Schema *schema.Schema
+	tables map[string]*Table
+}
+
+// NewDB creates a database with one empty table per schema table.
+func NewDB(s *schema.Schema) *DB {
+	db := &DB{Schema: s, tables: make(map[string]*Table, len(s.Tables))}
+	for _, mt := range s.Tables {
+		db.tables[mt.Name] = NewTable(mt)
+	}
+	return db
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Insert adds a row to the named table.
+func (db *DB) Insert(table string, vals ...Value) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("store: unknown table %s", table)
+	}
+	return t.Insert(vals...)
+}
+
+// MustInsert is Insert panicking on error, for dataset builders whose
+// data is statically known to be well-typed.
+func (db *DB) MustInsert(table string, vals ...Value) {
+	if err := db.Insert(table, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// BuildPrimaryIndexes creates hash indexes on every primary key and
+// foreign key column, the access paths the executor exploits.
+func (db *DB) BuildPrimaryIndexes() error {
+	for _, mt := range db.Schema.Tables {
+		if mt.PrimaryKey != "" {
+			if err := db.tables[mt.Name].BuildIndex(mt.PrimaryKey); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fk := range db.Schema.ForeignKeys {
+		if err := db.tables[fk.Table].BuildIndex(fk.Column); err != nil {
+			return err
+		}
+		if err := db.tables[fk.RefTable].BuildIndex(fk.RefColumn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropIndex removes the hash index on the named column, if any.
+func (t *Table) DropIndex(col string) { delete(t.hash, col) }
+
+// DropAllIndexes removes every hash index in the database — the "scan"
+// configuration of the access-path experiment (F2).
+func (db *DB) DropAllIndexes() {
+	for _, t := range db.tables {
+		t.hash = make(map[string]map[string][]int)
+	}
+}
+
+// TotalRows returns the number of rows across all tables.
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,259 @@
+// Package store is the in-memory relational storage engine underneath
+// the natural language interface: typed values, tables with hash
+// indexes, and a database bound to a schema. The SQL executor
+// (internal/exec) evaluates generated queries against it.
+//
+// The engine is deliberately single-writer/obvious: era NLIDB systems
+// ran against a private snapshot of the data, and all evaluation here
+// happens on immutable loaded datasets. It is not safe for concurrent
+// mutation.
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates Value variants.
+type Kind int
+
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	}
+	return "?"
+}
+
+// Value is a single typed cell. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int makes an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float makes a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Text makes a string value.
+func Text(s string) Value { return Value{kind: KindText, s: s} }
+
+// Bool makes a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNumeric reports whether the value is INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Int64 returns the integer content (0 unless KindInt).
+func (v Value) Int64() int64 { return v.i }
+
+// Str returns the text content ("" unless KindText).
+func (v Value) Str() string { return v.s }
+
+// BoolVal returns the boolean content (false unless KindBool).
+func (v Value) BoolVal() bool { return v.b }
+
+// AsFloat returns the numeric content with INT coerced to FLOAT. The
+// second result is false for non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		s := strconv.FormatFloat(v.f, 'f', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindText:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Key returns a canonical map key for hashing/grouping. Numeric values
+// that are equal (1 and 1.0) share a key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x01" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "\x01" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return "\x02" + v.s
+	case KindBool:
+		if v.b {
+			return "\x03t"
+		}
+		return "\x03f"
+	}
+	return ""
+}
+
+// Compare orders two values: NULL first, then numerics (cross-kind),
+// then text (bytewise), then bool (false < true). Values of
+// incomparable kinds order by kind, which keeps sorting total.
+func Compare(a, b Value) int {
+	an, bn := a.IsNumeric(), b.IsNumeric()
+	if an && bn {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.kind != b.kind {
+		ka, kb := kindRank(a.kind), kindRank(b.kind)
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		}
+		return 0
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindText:
+		return strings.Compare(a.s, b.s)
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func kindRank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	case KindText:
+		return 2
+	case KindBool:
+		return 3
+	}
+	return 4
+}
+
+// Equal reports SQL equality of two non-NULL values; comparisons
+// involving NULL are false (three-valued logic collapsed to false,
+// which is all the executor needs).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// ParseLiteral converts a source literal into a Value: "null", numbers,
+// booleans, anything else is text.
+func ParseLiteral(s string) Value {
+	switch strings.ToLower(s) {
+	case "null":
+		return Null()
+	case "true":
+		return Bool(true)
+	case "false":
+		return Bool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return Text(s)
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// FormatRows renders rows for debugging output.
+func FormatRows(rows []Row) string {
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprint(&b, r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package strutil
+
+// Levenshtein returns the edit distance between a and b, counting
+// insertions, deletions and substitutions as cost 1.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// Damerau returns the Damerau-Levenshtein distance (optimal string
+// alignment variant) between a and b: edits plus adjacent
+// transpositions, each cost 1. Transpositions are the dominant typing
+// error, so spelling correction uses this measure.
+func Damerau(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d[i-2][j-2] + 1; t < d[i][j] {
+					d[i][j] = t
+				}
+			}
+		}
+	}
+	return d[la][lb]
+}
+
+// WithinDistance reports whether Damerau(a, b) <= max without always
+// computing the full matrix: it first applies the length-difference
+// lower bound, then banded dynamic programming. This is the hot path of
+// spelling correction, called once per vocabulary entry.
+func WithinDistance(a, b string, max int) bool {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > max {
+		return false
+	}
+	if max == 0 {
+		return a == b
+	}
+	return Damerau(a, b) <= max
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

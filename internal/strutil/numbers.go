@@ -1,0 +1,106 @@
+package strutil
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseNumber parses a numeric token such as "42", "3.5", "1,200" or
+// "1200.75". It reports the value and whether parsing succeeded.
+func ParseNumber(s string) (float64, bool) {
+	s = strings.ReplaceAll(s, ",", "")
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+var numberUnits = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+	"fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+	"nineteen": 19,
+}
+
+var numberTens = map[string]float64{
+	"twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+	"sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+}
+
+var numberScales = map[string]float64{
+	"hundred": 100, "thousand": 1000, "million": 1e6, "billion": 1e9,
+}
+
+// IsNumberWord reports whether w participates in spelled-out numbers
+// ("twenty", "five", "million", "and" inside a number phrase).
+func IsNumberWord(w string) bool {
+	if _, ok := numberUnits[w]; ok {
+		return true
+	}
+	if _, ok := numberTens[w]; ok {
+		return true
+	}
+	_, ok := numberScales[w]
+	return ok
+}
+
+// WordsToNumber converts a run of spelled-out number words, e.g.
+// ["two", "hundred", "fifty", "three"] => 253. It follows the usual
+// left-to-right accumulate-and-scale algorithm. It reports failure on
+// any word that is not a number word (except a joining "and") or on an
+// empty or all-"and" input.
+func WordsToNumber(words []string) (float64, bool) {
+	total := 0.0
+	current := 0.0
+	seen := false
+	for _, w := range words {
+		if w == "and" {
+			continue
+		}
+		if u, ok := numberUnits[w]; ok {
+			current += u
+			seen = true
+			continue
+		}
+		if t, ok := numberTens[w]; ok {
+			current += t
+			seen = true
+			continue
+		}
+		if sc, ok := numberScales[w]; ok {
+			if current == 0 {
+				current = 1
+			}
+			if sc == 100 {
+				current *= 100
+			} else {
+				total += current * sc
+				current = 0
+			}
+			seen = true
+			continue
+		}
+		return 0, false
+	}
+	if !seen {
+		return 0, false
+	}
+	return total + current, true
+}
+
+// FormatNumber renders v compactly: integers without a decimal point,
+// other values with up to two decimals (trailing zeros trimmed).
+func FormatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}

@@ -1,0 +1,239 @@
+// Package strutil provides the low-level string and light NLP utilities
+// every layer of the natural language interface builds on: a question
+// tokenizer, a Porter stemmer, edit distances, Soundex codes and
+// number-word parsing. It has no dependencies on the rest of the system.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a token produced by Tokenize.
+type TokenKind int
+
+const (
+	// Word is an alphabetic token (possibly with internal apostrophes
+	// or hyphens, which are split out).
+	Word TokenKind = iota
+	// Number is a numeric token such as "42", "3.5" or "1,200".
+	Number
+	// Quoted is a token that appeared inside single or double quotes in
+	// the input and is preserved verbatim (case included).
+	Quoted
+	// Punct is retained punctuation that matters to the grammar
+	// (currently only "?" and ",").
+	Punct
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case Word:
+		return "word"
+	case Number:
+		return "number"
+	case Quoted:
+		return "quoted"
+	case Punct:
+		return "punct"
+	}
+	return "unknown"
+}
+
+// Token is a single unit of the tokenized question.
+type Token struct {
+	Text  string    // original surface form
+	Lower string    // lowercased form (equal to Text for Quoted tokens)
+	Kind  TokenKind // classification
+	Pos   int       // byte offset of the token start in the input
+}
+
+// IsWord reports whether the token is a plain word.
+func (t Token) IsWord() bool { return t.Kind == Word }
+
+// IsNumber reports whether the token is numeric.
+func (t Token) IsNumber() bool { return t.Kind == Number }
+
+// Tokenize splits an English question into tokens. It lowercases words,
+// recognizes numbers with decimal points and thousands separators,
+// preserves quoted spans verbatim as single tokens, strips possessive
+// "'s", and keeps "?" and "," as punctuation tokens (the grammar uses
+// commas in lists). All other punctuation is dropped.
+func Tokenize(s string) []Token {
+	var toks []Token
+	runes := []rune(s)
+	n := len(runes)
+	i := 0
+	byteOff := 0
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			byteOff += len(string(runes[i+j]))
+		}
+		i += k
+	}
+	for i < n {
+		r := runes[i]
+		switch {
+		case r == '\'' || r == '"' || r == '“' || r == '‘':
+			close := matchingQuote(r)
+			j := i + 1
+			for j < n && runes[j] != close {
+				j++
+			}
+			if j < n && j > i+1 {
+				text := string(runes[i+1 : j])
+				toks = append(toks, Token{Text: text, Lower: text, Kind: Quoted, Pos: byteOff})
+				advance(j - i + 1)
+				continue
+			}
+			// Unbalanced quote: skip it.
+			advance(1)
+		case unicode.IsDigit(r):
+			j := i
+			for j < n && (unicode.IsDigit(runes[j]) ||
+				(runes[j] == '.' && j+1 < n && unicode.IsDigit(runes[j+1])) ||
+				(runes[j] == ',' && j+1 < n && unicode.IsDigit(runes[j+1]))) {
+				j++
+			}
+			raw := string(runes[i:j])
+			clean := strings.ReplaceAll(raw, ",", "")
+			toks = append(toks, Token{Text: raw, Lower: clean, Kind: Number, Pos: byteOff})
+			advance(j - i)
+		case unicode.IsLetter(r):
+			j := i
+			for j < n && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_' ||
+				(runes[j] == '\'' && j+1 < n && unicode.IsLetter(runes[j+1]))) {
+				j++
+			}
+			word := string(runes[i:j])
+			// Strip possessive suffixes.
+			if lw := strings.ToLower(word); strings.HasSuffix(lw, "'s") {
+				word = word[:len(word)-2]
+			} else if strings.HasSuffix(word, "'") {
+				word = word[:len(word)-1]
+			}
+			if word != "" {
+				toks = append(toks, Token{Text: word, Lower: strings.ToLower(word), Kind: Word, Pos: byteOff})
+			}
+			advance(j - i)
+		case r == '?' || r == ',':
+			toks = append(toks, Token{Text: string(r), Lower: string(r), Kind: Punct, Pos: byteOff})
+			advance(1)
+		default:
+			advance(1)
+		}
+	}
+	return toks
+}
+
+func matchingQuote(open rune) rune {
+	switch open {
+	case '“':
+		return '”'
+	case '‘':
+		return '’'
+	}
+	return open
+}
+
+// Lowers returns the lowercase forms of toks, in order.
+func Lowers(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Lower
+	}
+	return out
+}
+
+// Join renders tokens back into a readable string (lossy).
+func Join(toks []Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// Normalize lowercases s, collapses runs of whitespace to a single
+// space, and trims the result. It is used for canonical comparisons of
+// names in the semantic index.
+func Normalize(s string) string {
+	var b strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsSpace(r) || r == '_' || r == '-' {
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+			continue
+		}
+		b.WriteRune(r)
+		lastSpace = false
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Soundex returns the classic 4-character Soundex code for s, used as a
+// last-resort phonetic match in spelling correction. Empty input yields
+// an empty code.
+func Soundex(s string) string {
+	s = strings.ToUpper(s)
+	var first byte
+	var digits []byte
+	prev := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			continue
+		}
+		d := soundexDigit(c)
+		if first == 0 {
+			first = c
+			prev = d
+			continue
+		}
+		if d == 0 {
+			// Vowels (and H/W partially) reset adjacency.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+			continue
+		}
+		if d != prev {
+			digits = append(digits, '0'+d)
+			if len(digits) == 3 {
+				break
+			}
+		}
+		prev = d
+	}
+	if first == 0 {
+		return ""
+	}
+	for len(digits) < 3 {
+		digits = append(digits, '0')
+	}
+	return string(first) + string(digits)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	}
+	return 0
+}
