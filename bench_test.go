@@ -226,6 +226,58 @@ func BenchmarkF4JoinPath(b *testing.B) {
 	}
 }
 
+// BenchmarkF5JoinHeavy measures join-heavy queries at dataset scale 4
+// through the streaming planner (exec.Query) and the seed-style
+// materializing executor (exec.ReferenceQuery). The planned/reference
+// pairs quantify what predicate pushdown, index access paths and
+// cost-based join ordering buy on multi-table equi-joins.
+func BenchmarkF5JoinHeavy(b *testing.B) {
+	db := dataset.University(4)
+	queries := []struct{ name, query string }{
+		{"join4", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"join3agg", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+		{"pointjoin", "SELECT s.name, d.name FROM students s, departments d " +
+			"WHERE s.dept_id = d.dept_id AND s.id = 7"},
+	}
+	for _, q := range queries {
+		stmt := sql.MustParse(q.query)
+		b.Run(q.name+"/planned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Query(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.name+"/reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.ReferenceQuery(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF5PlanShapes measures plan compilation over the full gold
+// corpus and keeps the plan-shape counters wired into `go test -bench`.
+func BenchmarkF5PlanShapes(b *testing.B) {
+	db := dataset.University(1)
+	cases := bench.Corpus("university")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shape, err := bench.PlanShapes(db, cases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if shape.Operators["hash-join"] == 0 {
+			b.Fatal("no hash joins planned over the corpus")
+		}
+	}
+}
+
 // BenchmarkAskEndToEnd is the headline single-question latency.
 func BenchmarkAskEndToEnd(b *testing.B) {
 	eng, err := Open("university", 1)

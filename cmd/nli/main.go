@@ -12,6 +12,8 @@
 //	.reset           clear the conversational context
 //	.sql             toggle SQL display
 //	.explain         toggle interpretation ranking display
+//	:explain         show the execution plan of the last answer
+//	:explain <q>     show the plan for a question (context-free)
 //	.quit            exit
 package main
 
@@ -48,6 +50,7 @@ func main() {
 		os.Exit(1)
 	}
 	conv := eng.NewConversation()
+	var last *nli.Answer
 
 	fmt.Printf("nli — natural language interface to %q (%d rows)\n",
 		loaded, eng.DB.TotalRows())
@@ -66,7 +69,34 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println(".reset  clear conversation context\n.sql    toggle SQL display\n.explain toggle interpretation display\n.quit   exit")
+			fmt.Println(".reset  clear conversation context\n.sql    toggle SQL display\n.explain toggle interpretation display\n:explain             show the plan of the last answer\n:explain <question>  plan a question (context-free)\n.quit   exit")
+			continue
+		case strings.HasPrefix(line, ":explain"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+			if q == "" {
+				// Bare :explain shows the plan of the previous answer,
+				// which is the one the conversation context produced.
+				if last == nil || last.Plan == nil {
+					fmt.Println("nothing answered yet; ask a question first or use :explain <question>")
+					continue
+				}
+				fmt.Printf("  SQL: %s\n", last.SQL)
+				fmt.Println(indent(last.Plan.Explain(), "  "))
+				continue
+			}
+			// With a question, interpret it context-free.
+			stmt, err := eng.Translate(q)
+			if err != nil {
+				fmt.Println("  sorry:", err)
+				continue
+			}
+			p, err := nli.Explain(eng.DB, stmt)
+			if err != nil {
+				fmt.Println("  sorry:", err)
+				continue
+			}
+			fmt.Printf("  SQL: %s\n", stmt)
+			fmt.Println(indent(p, "  "))
 			continue
 		case line == ".reset":
 			conv.Reset()
@@ -87,6 +117,7 @@ func main() {
 			fmt.Println("  sorry:", err)
 			continue
 		}
+		last = ans
 		tag := ""
 		if followUp {
 			tag = " (refining the previous question)"

@@ -33,8 +33,9 @@ func main() {
 		"T1": expT1, "T2": expT2, "T3": expT3, "T4": expT4,
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
+		"F5": expF5,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -284,14 +285,14 @@ func expF1() error {
 			"show the name and salary of instructors in the Computer Science department",
 		}},
 	}
-	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n",
-		"set", "correct", "annotate", "parse", "rank", "generate", "execute", "total")
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+		"set", "correct", "annotate", "parse", "rank", "generate", "plan", "execute", "total")
 	for _, set := range sets {
 		// Warm up, then profile.
 		bench.Profile(e, set.questions)
 		p := bench.Profile(e, set.questions)
-		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n", set.name,
-			p.Correct, p.Annotate, p.Parse, p.Rank, p.Generate, p.Execute, p.Total)
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s %10s\n", set.name,
+			p.Correct, p.Annotate, p.Parse, p.Rank, p.Generate, p.Plan, p.Execute, p.Total)
 	}
 	return nil
 }
@@ -381,6 +382,43 @@ func expF4() error {
 			per := time.Since(start) / time.Duration(reps)
 			fmt.Printf("%10d %12s %8d\n", k, per, joins)
 		}
+	}
+	return nil
+}
+
+// expF5 prints the planner's operator shapes over the gold corpus and
+// the streaming-executor speedup over the materializing reference path
+// on join-heavy queries at scale.
+func expF5() error {
+	header("F5", "plan shapes and planner speedup")
+	for _, domain := range dataset.Names() {
+		db, err := dataset.ByName(domain, 1)
+		if err != nil {
+			return err
+		}
+		shape, err := bench.PlanShapes(db, bench.Corpus(domain))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %s\n", domain, shape)
+	}
+
+	fmt.Printf("\n%-28s %12s %12s %8s\n", "query (university, scale 4)", "planned", "reference", "speedup")
+	db := dataset.University(4)
+	for _, q := range []struct{ name, query string }{
+		{"4-table filtered join", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"agg over 3-table join", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+		{"point lookup join", "SELECT s.name, d.name FROM students s, departments d " +
+			"WHERE s.dept_id = d.dept_id AND s.id = 7"},
+	} {
+		sp, err := bench.MeasureSpeedup(db, q.name, q.query, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %12s %12s %7.1fx\n", sp.Name, sp.Planned, sp.Reference, sp.Factor())
 	}
 	return nil
 }

@@ -188,6 +188,7 @@ type StageProfile struct {
 	Parse    time.Duration
 	Rank     time.Duration
 	Generate time.Duration
+	Plan     time.Duration
 	Execute  time.Duration
 	Total    time.Duration
 }
@@ -207,6 +208,7 @@ func Profile(e *core.Engine, questions []string) StageProfile {
 		p.Parse += ans.Timings.Parse
 		p.Rank += ans.Timings.Rank
 		p.Generate += ans.Timings.Generate
+		p.Plan += ans.Timings.Plan
 		p.Execute += ans.Timings.Execute
 		p.Total += ans.Timings.Total
 	}
@@ -217,6 +219,7 @@ func Profile(e *core.Engine, questions []string) StageProfile {
 		p.Parse /= n
 		p.Rank /= n
 		p.Generate /= n
+		p.Plan /= n
 		p.Execute /= n
 		p.Total /= n
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/iql"
 	"repro/internal/nlg"
+	"repro/internal/plan"
 	"repro/internal/semindex"
 	"repro/internal/sql"
 	"repro/internal/store"
@@ -49,7 +50,8 @@ type Timings struct {
 	Parse    time.Duration // semantic-grammar parsing
 	Rank     time.Duration // interpretation ranking
 	Generate time.Duration // IQL -> SQL translation
-	Execute  time.Duration // SQL execution
+	Plan     time.Duration // query planning and optimization
+	Execute  time.Duration // plan execution
 	Total    time.Duration
 }
 
@@ -60,6 +62,7 @@ type Answer struct {
 	Ranked      []interp.Scored // all surviving interpretations
 	Query       *iql.Query      // the chosen interpretation
 	SQL         *sql.SelectStmt
+	Plan        *plan.Plan // the optimized execution plan (see Plan.Explain)
 	Result      *exec.Result
 	Paraphrase  string // English echo of the interpretation
 	Response    string // English rendering of the result
@@ -161,7 +164,15 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 	}
 
 	start := time.Now()
-	res, err := exec.Query(e.DB, stmt)
+	p, err := exec.BuildPlan(e.DB, stmt)
+	tm.Plan = time.Since(start)
+	if err != nil {
+		return ans, fmt.Errorf("core: planning %q: %w", stmt, err)
+	}
+	ans.Plan = p
+
+	start = time.Now()
+	res, err := exec.Run(e.DB, p)
 	tm.Execute = time.Since(start)
 	if err != nil {
 		return ans, fmt.Errorf("core: executing %q: %w", stmt, err)
@@ -211,7 +222,12 @@ func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 		return ans, turn.FollowUp, err
 	}
 	ans.SQL = stmt
-	res, err := exec.Query(c.e.DB, stmt)
+	p, err := exec.BuildPlan(c.e.DB, stmt)
+	if err != nil {
+		return ans, turn.FollowUp, err
+	}
+	ans.Plan = p
+	res, err := exec.Run(c.e.DB, p)
 	if err != nil {
 		return ans, turn.FollowUp, err
 	}

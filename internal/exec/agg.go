@@ -2,214 +2,22 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/store"
 )
 
-// aggregated reports whether stmt needs group evaluation: explicit
-// GROUP BY, a HAVING clause, or any aggregate in the select list or
-// ORDER BY.
-func aggregated(stmt *sql.SelectStmt) bool {
-	if len(stmt.GroupBy) > 0 || stmt.Having != nil {
-		return true
-	}
-	agg := false
-	for _, it := range stmt.Items {
-		if !it.Star && containsAgg(it.Expr) {
-			agg = true
-		}
-	}
-	for _, o := range stmt.OrderBy {
-		if containsAgg(o.Expr) {
-			agg = true
-		}
-	}
-	return agg
-}
-
-// containsAgg reports whether e contains an aggregate call outside of
-// nested subqueries (whose aggregates belong to the subquery).
-func containsAgg(e sql.Expr) bool {
-	switch n := e.(type) {
-	case nil:
-		return false
-	case *sql.FuncCall:
-		return true
-	case *sql.BinaryExpr:
-		return containsAgg(n.L) || containsAgg(n.R)
-	case *sql.NotExpr:
-		return containsAgg(n.X)
-	case *sql.NegExpr:
-		return containsAgg(n.X)
-	case *sql.InExpr:
-		if containsAgg(n.X) {
-			return true
-		}
-		for _, le := range n.List {
-			if containsAgg(le) {
-				return true
-			}
-		}
-		return false
-	case *sql.BetweenExpr:
-		return containsAgg(n.X) || containsAgg(n.Lo) || containsAgg(n.Hi)
-	case *sql.LikeExpr:
-		return containsAgg(n.X) || containsAgg(n.Pattern)
-	case *sql.IsNullExpr:
-		return containsAgg(n.X)
-	}
-	return false
-}
-
-// group is the set of joined rows sharing GROUP BY key values.
-type group struct {
-	rel    *relation
-	rows   []store.Row
-	parent *frame
-}
-
-// rep returns a frame over the group's first row, used for evaluating
-// grouped (non-aggregate) expressions.
-func (g *group) rep() *frame {
-	var row store.Row
-	if len(g.rows) > 0 {
-		row = g.rows[0]
-	} else {
-		row = make(store.Row, g.rel.width) // all NULL, for the global empty group
-	}
-	return &frame{rel: g.rel, row: row, parent: g.parent}
-}
-
-func (ex *executor) aggregateSelect(stmt *sql.SelectStmt, rel *relation, parent *frame) (*Result, error) {
-	for _, it := range stmt.Items {
-		if it.Star {
-			return nil, fmt.Errorf("exec: SELECT * cannot be combined with aggregation")
-		}
-	}
-
-	// Filter with WHERE first.
-	var kept []store.Row
-	for _, r := range rel.rows {
-		f := &frame{rel: rel, row: r, parent: parent}
-		if stmt.Where != nil {
-			v, err := ex.eval(f, stmt.Where)
-			if err != nil {
-				return nil, err
-			}
-			if !isTrue(v) {
-				continue
-			}
-		}
-		kept = append(kept, r)
-	}
-
-	// Partition into groups.
-	var groups []*group
-	if len(stmt.GroupBy) == 0 {
-		groups = []*group{{rel: rel, rows: kept, parent: parent}}
-	} else {
-		byKey := map[string]*group{}
-		var order []string
-		for _, r := range kept {
-			f := &frame{rel: rel, row: r, parent: parent}
-			var key string
-			for _, ge := range stmt.GroupBy {
-				v, err := ex.eval(f, ge)
-				if err != nil {
-					return nil, err
-				}
-				key += v.Key() + "\x1f"
-			}
-			g, ok := byKey[key]
-			if !ok {
-				g = &group{rel: rel, parent: parent}
-				byKey[key] = g
-				order = append(order, key)
-			}
-			g.rows = append(g.rows, r)
-		}
-		for _, k := range order {
-			groups = append(groups, byKey[k])
-		}
-	}
-
-	items, cols, err := expandItems(stmt, rel)
-	if err != nil {
-		return nil, err
-	}
-	orderExprs, err := substituteAliases(stmt, items)
-	if err != nil {
-		return nil, err
-	}
-
-	type outRow struct {
-		row  store.Row
-		keys store.Row
-	}
-	var outs []outRow
-	seen := map[string]bool{}
-	for _, g := range groups {
-		if stmt.Having != nil {
-			v, err := ex.evalGroup(g, stmt.Having)
-			if err != nil {
-				return nil, err
-			}
-			if !isTrue(v) {
-				continue
-			}
-		}
-		row := make(store.Row, len(items))
-		for i, it := range items {
-			v, err := ex.evalGroup(g, it)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		if stmt.Distinct {
-			k := rowKey(row)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		keys := make(store.Row, len(orderExprs))
-		for i, oe := range orderExprs {
-			v, err := ex.evalGroup(g, oe)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		outs = append(outs, outRow{row: row, keys: keys})
-	}
-
-	if len(stmt.OrderBy) > 0 {
-		sort.SliceStable(outs, func(i, j int) bool {
-			return lessKeys(outs[i].keys, outs[j].keys, stmt.OrderBy)
-		})
-	}
-	rows := make([]store.Row, 0, len(outs))
-	for _, o := range outs {
-		rows = append(rows, o.row)
-	}
-	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
-		rows = rows[:stmt.Limit]
-	}
-	return &Result{Cols: cols, Rows: rows}, nil
-}
-
 // evalGroup evaluates an expression in group context: aggregate calls
 // fold over the group's rows, everything else evaluates on the
-// representative row.
-func (ex *executor) evalGroup(g *group, e sql.Expr) (store.Value, error) {
+// representative row. plan's Aggregate operator calls this through the
+// plan.Evaluator interface.
+func (ex *executor) evalGroup(g *plan.Group, e sql.Expr) (store.Value, error) {
 	switch n := e.(type) {
 	case *sql.FuncCall:
 		return ex.evalAggregate(g, n)
 	case *sql.BinaryExpr:
-		if containsAgg(n.L) || containsAgg(n.R) {
+		if plan.ContainsAggregate(n.L) || plan.ContainsAggregate(n.R) {
 			l, err := ex.evalGroup(g, n.L)
 			if err != nil {
 				return store.Value{}, err
@@ -219,12 +27,12 @@ func (ex *executor) evalGroup(g *group, e sql.Expr) (store.Value, error) {
 				return store.Value{}, err
 			}
 			// Re-run the operator logic on pre-computed operands.
-			return ex.evalBinary(g.rep(), &sql.BinaryExpr{
+			return ex.evalBinary(g.Rep(), &sql.BinaryExpr{
 				Op: n.Op, L: sql.Lit(l), R: sql.Lit(r),
 			})
 		}
 	case *sql.NotExpr:
-		if containsAgg(n.X) {
+		if plan.ContainsAggregate(n.X) {
 			v, err := ex.evalGroup(g, n.X)
 			if err != nil {
 				return store.Value{}, err
@@ -235,28 +43,29 @@ func (ex *executor) evalGroup(g *group, e sql.Expr) (store.Value, error) {
 			return store.Bool(!isTrue(v)), nil
 		}
 	case *sql.NegExpr:
-		if containsAgg(n.X) {
+		if plan.ContainsAggregate(n.X) {
 			v, err := ex.evalGroup(g, n.X)
 			if err != nil {
 				return store.Value{}, err
 			}
-			return ex.eval(g.rep(), &sql.NegExpr{X: sql.Lit(v)})
+			return ex.eval(g.Rep(), &sql.NegExpr{X: sql.Lit(v)})
 		}
 	}
-	return ex.eval(g.rep(), e)
+	return ex.eval(g.Rep(), e)
 }
 
-func (ex *executor) evalAggregate(g *group, fc *sql.FuncCall) (store.Value, error) {
+func (ex *executor) evalAggregate(g *plan.Group, fc *sql.FuncCall) (store.Value, error) {
 	if fc.Star {
 		if fc.Name != "COUNT" {
 			return store.Value{}, fmt.Errorf("exec: %s(*) is not valid", fc.Name)
 		}
-		return store.Int(int64(len(g.rows))), nil
+		return store.Int(int64(len(g.Rows))), nil
 	}
 	var vals []store.Value
 	seen := map[string]bool{}
-	for _, r := range g.rows {
-		f := &frame{rel: g.rel, row: r, parent: g.parent}
+	f := &plan.Frame{Rel: g.Rel, Parent: g.Parent}
+	for _, r := range g.Rows {
+		f.Row = r
 		v, err := ex.eval(f, fc.Arg)
 		if err != nil {
 			return store.Value{}, err

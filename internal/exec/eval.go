@@ -4,12 +4,25 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/plan"
+	"repro/internal/schema"
 	"repro/internal/sql"
 	"repro/internal/store"
 )
 
+// Eval implements plan.Evaluator: scalar (non-aggregate) expression
+// evaluation in a row frame.
+func (ex *executor) Eval(f *plan.Frame, e sql.Expr) (store.Value, error) {
+	return ex.eval(f, e)
+}
+
+// EvalGroup implements plan.Evaluator for aggregate contexts.
+func (ex *executor) EvalGroup(g *plan.Group, e sql.Expr) (store.Value, error) {
+	return ex.evalGroup(g, e)
+}
+
 // eval evaluates a scalar (non-aggregate) expression in a row frame.
-func (ex *executor) eval(f *frame, e sql.Expr) (store.Value, error) {
+func (ex *executor) eval(f *plan.Frame, e sql.Expr) (store.Value, error) {
 	switch n := e.(type) {
 	case sql.ColumnRef:
 		return resolveValue(f, n)
@@ -110,7 +123,7 @@ func (ex *executor) eval(f *frame, e sql.Expr) (store.Value, error) {
 	return store.Value{}, fmt.Errorf("exec: unsupported expression %T", e)
 }
 
-func (ex *executor) evalBinary(f *frame, n *sql.BinaryExpr) (store.Value, error) {
+func (ex *executor) evalBinary(f *plan.Frame, n *sql.BinaryExpr) (store.Value, error) {
 	switch n.Op {
 	case sql.OpAnd, sql.OpOr:
 		l, err := ex.eval(f, n.L)
@@ -212,7 +225,7 @@ func (ex *executor) evalBinary(f *frame, n *sql.BinaryExpr) (store.Value, error)
 	return store.Value{}, fmt.Errorf("exec: unsupported operator %v", n.Op)
 }
 
-func (ex *executor) evalIn(f *frame, n *sql.InExpr) (store.Value, error) {
+func (ex *executor) evalIn(f *plan.Frame, n *sql.InExpr) (store.Value, error) {
 	x, err := ex.eval(f, n.X)
 	if err != nil {
 		return store.Value{}, err
@@ -264,112 +277,157 @@ func (ex *executor) evalIn(f *frame, n *sql.InExpr) (store.Value, error) {
 	return store.Bool(n.Negated), nil
 }
 
-// runSubquery executes sub with f as the correlation parent,
-// memoizing results for subqueries that turn out to be uncorrelated.
-func (ex *executor) runSubquery(sub *sql.SelectStmt, f *frame) (*Result, error) {
-	if cached, ok := ex.subCache[sub]; ok {
+// runSubquery executes sub with f as the correlation parent. Results
+// are memoized only for subqueries proven uncorrelated, and the cache
+// key carries the correlation status as a guard: a correlated subquery
+// must never be served a result computed under a different outer row.
+func (ex *executor) runSubquery(sub *sql.SelectStmt, f *plan.Frame) (*Result, error) {
+	if ex.correlated(sub, f) {
+		return ex.selectStmt(sub, f)
+	}
+	key := subKey{stmt: sub, correlated: false}
+	if cached, ok := ex.subCache[key]; ok {
 		return cached, nil
 	}
-	if !refersToOuter(sub, f) {
-		res, err := ex.selectStmt(sub, nil)
-		if err != nil {
-			return nil, err
-		}
-		ex.subCache[sub] = res
-		return res, nil
+	res, err := ex.selectStmt(sub, nil)
+	if err != nil {
+		return nil, err
 	}
-	return ex.selectStmt(sub, f)
+	ex.subCache[key] = res
+	return res, nil
 }
 
-// refersToOuter conservatively reports whether sub mentions a table
-// name from an enclosing frame, in which case it must be re-evaluated
-// per outer row.
-func refersToOuter(sub *sql.SelectStmt, f *frame) bool {
-	inner := map[string]bool{}
-	for _, t := range sub.From {
-		inner[t.Name()] = true
-	}
-	outer := map[string]bool{}
-	for p := f; p != nil; p = p.parent {
-		if p.rel == nil {
-			continue
-		}
-		for _, b := range p.rel.bindings {
-			if !inner[b.name] {
-				outer[b.name] = true
-			}
-		}
-	}
-	if len(outer) == 0 {
+// correlated reports whether sub references an enclosing frame.
+// Qualified references correlate when they name an outer binding not
+// shadowed by an in-scope FROM clause; unqualified references
+// correlate when no in-scope table has the column, since resolution
+// would then climb the parent chain. Unknown references are treated as
+// correlated, which is always safe — it only disables caching. The
+// verdict is memoized per statement: within one execution, a given
+// subquery node is always evaluated under frames of the same shape, so
+// the analysis need not rerun per outer row.
+func (ex *executor) correlated(sub *sql.SelectStmt, f *plan.Frame) bool {
+	if f == nil {
 		return false
 	}
-	correlated := false
-	walkExprs(sub, func(e sql.Expr) {
-		if c, ok := e.(sql.ColumnRef); ok && c.Table != "" && outer[c.Table] {
-			correlated = true
+	if v, ok := ex.corrCache[sub]; ok {
+		return v
+	}
+	outerNames := map[string]bool{}
+	for cur := f; cur != nil; cur = cur.Parent {
+		if cur.Rel == nil {
+			continue
 		}
-	})
-	return correlated
+		for _, b := range cur.Rel.Bindings {
+			outerNames[b.Name] = true
+		}
+	}
+	if len(outerNames) == 0 {
+		return false
+	}
+
+	var stmtCorrelated func(s *sql.SelectStmt, scopes []map[string]*schema.Table) bool
+	stmtCorrelated = func(s *sql.SelectStmt, scopes []map[string]*schema.Table) bool {
+		local := map[string]*schema.Table{}
+		for _, t := range s.From {
+			if tab := ex.db.Table(t.Table); tab != nil {
+				local[t.Name()] = tab.Meta
+			} else {
+				local[t.Name()] = nil
+			}
+		}
+		scopes = append(scopes, local)
+		inScopeName := func(name string) bool {
+			for _, sc := range scopes {
+				if _, ok := sc[name]; ok {
+					return true
+				}
+			}
+			return false
+		}
+		inScopeColumn := func(col string) bool {
+			for _, sc := range scopes {
+				for _, meta := range sc {
+					if meta != nil && meta.Column(col) != nil {
+						return true
+					}
+				}
+			}
+			return false
+		}
+
+		corr := false
+		var walkE func(e sql.Expr)
+		walkE = func(e sql.Expr) {
+			if corr || e == nil {
+				return
+			}
+			switch n := e.(type) {
+			case sql.ColumnRef:
+				if n.Table != "" {
+					if !inScopeName(n.Table) {
+						corr = true
+					}
+				} else if !inScopeColumn(n.Column) {
+					corr = true
+				}
+			case *sql.BinaryExpr:
+				walkE(n.L)
+				walkE(n.R)
+			case *sql.NotExpr:
+				walkE(n.X)
+			case *sql.NegExpr:
+				walkE(n.X)
+			case *sql.FuncCall:
+				walkE(n.Arg)
+			case *sql.InExpr:
+				walkE(n.X)
+				for _, le := range n.List {
+					walkE(le)
+				}
+				if n.Sub != nil && stmtCorrelated(n.Sub, scopes) {
+					corr = true
+				}
+			case *sql.ExistsExpr:
+				if stmtCorrelated(n.Sub, scopes) {
+					corr = true
+				}
+			case *sql.SubqueryExpr:
+				if stmtCorrelated(n.Sub, scopes) {
+					corr = true
+				}
+			case *sql.BetweenExpr:
+				walkE(n.X)
+				walkE(n.Lo)
+				walkE(n.Hi)
+			case *sql.LikeExpr:
+				walkE(n.X)
+				walkE(n.Pattern)
+			case *sql.IsNullExpr:
+				walkE(n.X)
+			}
+		}
+		for _, it := range s.Items {
+			if !it.Star {
+				walkE(it.Expr)
+			}
+		}
+		walkE(s.Where)
+		for _, g := range s.GroupBy {
+			walkE(g)
+		}
+		walkE(s.Having)
+		for _, o := range s.OrderBy {
+			walkE(o.Expr)
+		}
+		return corr
+	}
+	v := stmtCorrelated(sub, nil)
+	ex.corrCache[sub] = v
+	return v
 }
 
-// walkExprs visits every expression in the statement, including nested
-// subqueries.
-func walkExprs(s *sql.SelectStmt, visit func(sql.Expr)) {
-	var walkE func(sql.Expr)
-	walkE = func(e sql.Expr) {
-		if e == nil {
-			return
-		}
-		visit(e)
-		switch n := e.(type) {
-		case *sql.BinaryExpr:
-			walkE(n.L)
-			walkE(n.R)
-		case *sql.NotExpr:
-			walkE(n.X)
-		case *sql.NegExpr:
-			walkE(n.X)
-		case *sql.FuncCall:
-			walkE(n.Arg)
-		case *sql.InExpr:
-			walkE(n.X)
-			for _, le := range n.List {
-				walkE(le)
-			}
-			if n.Sub != nil {
-				walkExprs(n.Sub, visit)
-			}
-		case *sql.ExistsExpr:
-			walkExprs(n.Sub, visit)
-		case *sql.SubqueryExpr:
-			walkExprs(n.Sub, visit)
-		case *sql.BetweenExpr:
-			walkE(n.X)
-			walkE(n.Lo)
-			walkE(n.Hi)
-		case *sql.LikeExpr:
-			walkE(n.X)
-			walkE(n.Pattern)
-		case *sql.IsNullExpr:
-			walkE(n.X)
-		}
-	}
-	for _, it := range s.Items {
-		if !it.Star {
-			walkE(it.Expr)
-		}
-	}
-	walkE(s.Where)
-	for _, g := range s.GroupBy {
-		walkE(g)
-	}
-	walkE(s.Having)
-	for _, o := range s.OrderBy {
-		walkE(o.Expr)
-	}
-}
-
-func (ex *executor) scalarSubquery(sub *sql.SelectStmt, f *frame) (store.Value, error) {
+func (ex *executor) scalarSubquery(sub *sql.SelectStmt, f *plan.Frame) (store.Value, error) {
 	res, err := ex.runSubquery(sub, f)
 	if err != nil {
 		return store.Value{}, err
@@ -388,39 +446,17 @@ func (ex *executor) scalarSubquery(sub *sql.SelectStmt, f *frame) (store.Value, 
 
 // resolveValue finds the value of a column reference, searching the
 // current frame first and then the parent chain (correlation).
-func resolveValue(f *frame, ref sql.ColumnRef) (store.Value, error) {
-	for cur := f; cur != nil; cur = cur.parent {
-		off, ok, ambiguous := offsetIn(cur.rel, ref)
+func resolveValue(f *plan.Frame, ref sql.ColumnRef) (store.Value, error) {
+	for cur := f; cur != nil; cur = cur.Parent {
+		off, ok, ambiguous := plan.OffsetIn(cur.Rel, ref)
 		if ambiguous {
 			return store.Value{}, fmt.Errorf("exec: ambiguous column %q", ref.String())
 		}
 		if ok {
-			return cur.row[off], nil
+			return cur.Row[off], nil
 		}
 	}
 	return store.Value{}, fmt.Errorf("exec: unknown column %q", ref.String())
-}
-
-func offsetIn(rel *relation, ref sql.ColumnRef) (off int, ok, ambiguous bool) {
-	if rel == nil {
-		return 0, false, false
-	}
-	found := -1
-	for _, b := range rel.bindings {
-		if ref.Table != "" && ref.Table != b.name {
-			continue
-		}
-		if ci := indexOfColumn(b.meta, ref.Column); ci >= 0 {
-			if found >= 0 {
-				return 0, false, true
-			}
-			found = b.off + ci
-		}
-	}
-	if found < 0 {
-		return 0, false, false
-	}
-	return found, true, false
 }
 
 // matchLike implements SQL LIKE with % (any run) and _ (any single
@@ -454,6 +490,15 @@ func likeMatch(s, p string) bool {
 		pi++
 	}
 	return pi == len(p)
+}
+
+func rowKey(r store.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
 }
 
 // FormatResult renders a result as an aligned text table for the REPL

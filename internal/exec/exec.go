@@ -1,22 +1,24 @@
 // Package exec evaluates SQL ASTs (internal/sql) against the in-memory
-// store (internal/store). It supports the full subset the natural
-// language pipeline can generate plus everything the gold benchmark
-// corpus needs: multi-table equi-joins (hash joins extracted from the
-// WHERE clause, nested loops otherwise), aggregation with GROUP BY and
-// HAVING, DISTINCT, ORDER BY with alias references, LIMIT, IN/EXISTS
-// and scalar subqueries including correlated ones.
+// store (internal/store). Queries are compiled by internal/plan into a
+// cost-optimized operator tree (predicate pushdown, column pruning,
+// index-aware join ordering) and executed by plan's Volcano-style
+// streaming iterators; this package contributes the scalar-expression
+// evaluator those iterators call back into, covering multi-table
+// equi-joins, aggregation with GROUP BY and HAVING, DISTINCT, ORDER BY
+// with alias references, LIMIT, IN/EXISTS and scalar subqueries
+// including correlated ones.
 //
 // Evaluation uses collapsed three-valued logic: comparisons involving
 // NULL yield NULL, AND/OR/NOT propagate NULL, and a WHERE/HAVING accepts
 // a row only when the predicate is exactly TRUE.
+//
+// ReferenceQuery preserves the pre-planner execution strategy
+// (materialize the full join product, then filter) as a differential-
+// testing baseline.
 package exec
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"repro/internal/schema"
+	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/store"
 )
@@ -27,500 +29,85 @@ type Result struct {
 	Rows []store.Row
 }
 
-// maxProduct bounds cartesian products so a bad interpretation cannot
-// take the process down.
-const maxProduct = 5_000_000
-
-// Query evaluates stmt against db.
+// Query evaluates stmt against db through the planning layer.
 func Query(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
-	ex := &executor{db: db, subCache: map[*sql.SelectStmt]*Result{}}
-	return ex.selectStmt(stmt, nil)
-}
-
-type executor struct {
-	db       *store.DB
-	subCache map[*sql.SelectStmt]*Result
-}
-
-// binding maps a FROM-clause name to a table and an offset within the
-// concatenated row.
-type binding struct {
-	name string
-	meta *schema.Table
-	off  int
-}
-
-// relation is a set of bindings plus materialized joined rows.
-type relation struct {
-	bindings []binding
-	width    int
-	rows     []store.Row
-}
-
-// frame is a single row in evaluation context, with a parent chain for
-// correlated subqueries.
-type frame struct {
-	rel    *relation
-	row    store.Row
-	parent *frame
-}
-
-func (ex *executor) selectStmt(stmt *sql.SelectStmt, parent *frame) (*Result, error) {
-	if len(stmt.From) == 0 {
-		return nil, fmt.Errorf("exec: query has no FROM clause")
-	}
-	rel, err := ex.buildRelation(stmt, parent)
+	p, err := plan.Compile(db, stmt)
 	if err != nil {
 		return nil, err
 	}
-	if aggregated(stmt) {
-		return ex.aggregateSelect(stmt, rel, parent)
-	}
-	return ex.plainSelect(stmt, rel, parent)
+	return Run(db, p)
 }
 
-// buildRelation joins the FROM tables, using hash joins on equi-join
-// conjuncts found in WHERE and bounded nested loops otherwise. The full
-// WHERE predicate is re-applied later, so join extraction is purely an
-// optimization and never changes results.
-func (ex *executor) buildRelation(stmt *sql.SelectStmt, parent *frame) (*relation, error) {
-	var bindings []binding
-	seen := map[string]bool{}
-	for _, ref := range stmt.From {
-		tab := ex.db.Table(ref.Table)
-		if tab == nil {
-			return nil, fmt.Errorf("exec: unknown table %q", ref.Table)
-		}
-		name := ref.Name()
-		if seen[name] {
-			return nil, fmt.Errorf("exec: duplicate table name %q in FROM", name)
-		}
-		seen[name] = true
-		bindings = append(bindings, binding{name: name, meta: tab.Meta})
+// BuildPlan compiles stmt into an optimized plan without running it —
+// the seam core uses to time planning separately and surface the
+// chosen plan in answers.
+func BuildPlan(db *store.DB, stmt *sql.SelectStmt) (*plan.Plan, error) {
+	return plan.Compile(db, stmt)
+}
+
+// Run executes a compiled plan.
+func Run(db *store.DB, p *plan.Plan) (*Result, error) {
+	return newExecutor(db).run(p, nil)
+}
+
+// subKey keys the subquery result cache by statement and correlation
+// status. Today only uncorrelated results are ever inserted (correlated
+// subqueries return before the cache, their result depending on the
+// outer row), so entries always carry correlated=false; the field is
+// schema, not logic — it makes the cache's contract explicit and keeps
+// a future caching of correlated results from colliding with these
+// entries under the same statement pointer.
+type subKey struct {
+	stmt       *sql.SelectStmt
+	correlated bool
+}
+
+// executor evaluates expressions for plan iterators and runs nested
+// subqueries, memoizing uncorrelated subquery results and compiled
+// subquery plans.
+type executor struct {
+	db        *store.DB
+	subCache  map[subKey]*Result
+	planCache map[*sql.SelectStmt]*plan.Plan
+	corrCache map[*sql.SelectStmt]bool // memoized correlation verdicts
+	reference bool                     // route subqueries through the reference path too
+}
+
+func newExecutor(db *store.DB) *executor {
+	return &executor{
+		db:        db,
+		subCache:  map[subKey]*Result{},
+		planCache: map[*sql.SelectStmt]*plan.Plan{},
+		corrCache: map[*sql.SelectStmt]bool{},
 	}
+}
 
-	joinConds := equiJoinConds(stmt.Where)
+func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
+	rows, err := plan.Run(p, &plan.Ctx{DB: ex.db, Ev: ex, Parent: parent})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: p.Cols, Rows: rows}, nil
+}
 
-	// Left-deep join, preferring tables connected to what is already
-	// joined by some equi-join conjunct.
-	order := joinOrder(bindings, joinConds)
-
-	var rel *relation
-	for _, bi := range order {
-		b := bindings[bi]
-		tab := ex.db.Table(b.meta.Name)
-		if rel == nil {
-			rel = &relation{width: len(b.meta.Columns)}
-			b.off = 0
-			rel.bindings = []binding{b}
-			rel.rows = indexPrune(tab, b.name, stmt.Where)
-			continue
-		}
+// selectStmt executes a (sub)query, compiling and caching its plan.
+// Plans depend only on the statement and the database, never on the
+// outer row, so correlated subqueries recompile nothing per row.
+func (ex *executor) selectStmt(stmt *sql.SelectStmt, parent *plan.Frame) (*Result, error) {
+	if ex.reference {
+		return ex.referenceSelect(stmt, parent)
+	}
+	p, ok := ex.planCache[stmt]
+	if !ok {
 		var err error
-		rel, err = ex.joinOne(rel, b, tab, joinConds)
+		p, err = plan.Compile(ex.db, stmt)
 		if err != nil {
 			return nil, err
 		}
+		ex.planCache[stmt] = p
 	}
-	return rel, nil
-}
-
-// indexPrune narrows the base table's rows using a hash index when the
-// WHERE clause has a top-level "col = literal" conjunct on an indexed
-// column. The full predicate is re-applied afterwards, so this is a
-// pure access-path optimization; the scalability experiment (F2)
-// measures it by building or omitting indexes.
-func indexPrune(tab *store.Table, name string, where sql.Expr) []store.Row {
-	rows := tab.Rows()
-	var walk func(sql.Expr) []store.Row
-	walk = func(e sql.Expr) []store.Row {
-		be, ok := e.(*sql.BinaryExpr)
-		if !ok {
-			return nil
-		}
-		switch be.Op {
-		case sql.OpAnd:
-			if r := walk(be.L); r != nil {
-				return r
-			}
-			return walk(be.R)
-		case sql.OpEq:
-			col, lit, ok := eqColLiteral(be)
-			if !ok {
-				return nil
-			}
-			if col.Table != "" && col.Table != name {
-				return nil
-			}
-			ci := tab.ColIndex(col.Column)
-			if ci < 0 || !tab.HasIndex(col.Column) {
-				return nil
-			}
-			ids, _ := tab.LookupIndex(col.Column, lit.Val)
-			pruned := make([]store.Row, 0, len(ids))
-			for _, id := range ids {
-				pruned = append(pruned, tab.Row(id))
-			}
-			return pruned
-		}
-		return nil
-	}
-	if where != nil {
-		if pruned := walk(where); pruned != nil {
-			return pruned
-		}
-	}
-	return rows
-}
-
-func eqColLiteral(be *sql.BinaryExpr) (sql.ColumnRef, sql.Literal, bool) {
-	if c, ok := be.L.(sql.ColumnRef); ok {
-		if l, ok := be.R.(sql.Literal); ok {
-			return c, l, true
-		}
-	}
-	if c, ok := be.R.(sql.ColumnRef); ok {
-		if l, ok := be.L.(sql.Literal); ok {
-			return c, l, true
-		}
-	}
-	return sql.ColumnRef{}, sql.Literal{}, false
-}
-
-// equiJoin is one "a.x = b.y" conjunct.
-type equiJoin struct {
-	l, r sql.ColumnRef
-}
-
-// equiJoinConds extracts top-level AND-ed equality conjuncts between
-// two column references.
-func equiJoinConds(e sql.Expr) []equiJoin {
-	var out []equiJoin
-	var walk func(sql.Expr)
-	walk = func(e sql.Expr) {
-		be, ok := e.(*sql.BinaryExpr)
-		if !ok {
-			return
-		}
-		switch be.Op {
-		case sql.OpAnd:
-			walk(be.L)
-			walk(be.R)
-		case sql.OpEq:
-			lc, lok := be.L.(sql.ColumnRef)
-			rc, rok := be.R.(sql.ColumnRef)
-			if lok && rok {
-				out = append(out, equiJoin{l: lc, r: rc})
-			}
-		}
-	}
-	if e != nil {
-		walk(e)
-	}
-	return out
-}
-
-// joinOrder returns binding indexes in an order where each table after
-// the first is connected by an equi-join to the already-placed ones
-// when possible, minimizing cartesian products.
-func joinOrder(bindings []binding, conds []equiJoin) []int {
-	n := len(bindings)
-	placed := make([]bool, n)
-	var order []int
-	order = append(order, 0)
-	placed[0] = true
-	owns := func(bi int, ref sql.ColumnRef) bool {
-		b := bindings[bi]
-		if ref.Table != "" {
-			return ref.Table == b.name
-		}
-		return b.meta.Column(ref.Column) != nil
-	}
-	connected := func(bi int) bool {
-		for _, c := range conds {
-			for _, pi := range order {
-				if (owns(pi, c.l) && owns(bi, c.r)) || (owns(pi, c.r) && owns(bi, c.l)) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	for len(order) < n {
-		next := -1
-		for i := 0; i < n; i++ {
-			if !placed[i] && connected(i) {
-				next = i
-				break
-			}
-		}
-		if next == -1 {
-			for i := 0; i < n; i++ {
-				if !placed[i] {
-					next = i
-					break
-				}
-			}
-		}
-		placed[next] = true
-		order = append(order, next)
-	}
-	return order
-}
-
-// joinOne joins rel with table b, hash-joining when an extracted
-// equi-join connects them.
-func (ex *executor) joinOne(rel *relation, b binding, tab *store.Table, conds []equiJoin) (*relation, error) {
-	b.off = rel.width
-	out := &relation{
-		bindings: append(append([]binding{}, rel.bindings...), b),
-		width:    rel.width + len(b.meta.Columns),
-	}
-
-	// Find a usable equi-join: one side resolvable in rel, other in b.
-	leftOff, rightIdx := -1, -1
-	for _, c := range conds {
-		if lo, ok := resolveOffset(rel, c.l); ok {
-			if ri := colIndexIn(b, c.r); ri >= 0 {
-				leftOff, rightIdx = lo, ri
-				break
-			}
-		}
-		if lo, ok := resolveOffset(rel, c.r); ok {
-			if ri := colIndexIn(b, c.l); ri >= 0 {
-				leftOff, rightIdx = lo, ri
-				break
-			}
-		}
-	}
-
-	newRows := tab.Rows()
-	if leftOff >= 0 {
-		// Hash join: build on the new table, probe from rel.
-		index := make(map[string][]store.Row, len(newRows))
-		for _, nr := range newRows {
-			v := nr[rightIdx]
-			if v.IsNull() {
-				continue
-			}
-			index[v.Key()] = append(index[v.Key()], nr)
-		}
-		for _, lr := range rel.rows {
-			v := lr[leftOff]
-			if v.IsNull() {
-				continue
-			}
-			for _, nr := range index[v.Key()] {
-				out.rows = append(out.rows, concatRow(lr, nr, out.width))
-			}
-		}
-		return out, nil
-	}
-
-	// Cartesian product with a size guard.
-	if len(rel.rows)*len(newRows) > maxProduct {
-		return nil, fmt.Errorf("exec: join of %s would produce over %d rows; add a join condition",
-			b.meta.Name, maxProduct)
-	}
-	for _, lr := range rel.rows {
-		for _, nr := range newRows {
-			out.rows = append(out.rows, concatRow(lr, nr, out.width))
-		}
-	}
-	return out, nil
-}
-
-func concatRow(l, r store.Row, width int) store.Row {
-	row := make(store.Row, 0, width)
-	row = append(row, l...)
-	return append(row, r...)
-}
-
-// resolveOffset resolves a column ref to an offset inside rel, without
-// consulting parent frames (used for join planning only).
-func resolveOffset(rel *relation, ref sql.ColumnRef) (int, bool) {
-	found := -1
-	for _, b := range rel.bindings {
-		if ref.Table != "" && ref.Table != b.name {
-			continue
-		}
-		if ci := indexOfColumn(b.meta, ref.Column); ci >= 0 {
-			if found >= 0 {
-				return -1, false // ambiguous
-			}
-			found = b.off + ci
-		}
-	}
-	return found, found >= 0
-}
-
-func colIndexIn(b binding, ref sql.ColumnRef) int {
-	if ref.Table != "" && ref.Table != b.name {
-		return -1
-	}
-	return indexOfColumn(b.meta, ref.Column)
-}
-
-func indexOfColumn(meta *schema.Table, col string) int {
-	for i := range meta.Columns {
-		if meta.Columns[i].Name == col {
-			return i
-		}
-	}
-	return -1
-}
-
-// ---- plain (non-aggregated) path ----
-
-func (ex *executor) plainSelect(stmt *sql.SelectStmt, rel *relation, parent *frame) (*Result, error) {
-	items, cols, err := expandItems(stmt, rel)
-	if err != nil {
-		return nil, err
-	}
-	orderExprs, err := substituteAliases(stmt, items)
-	if err != nil {
-		return nil, err
-	}
-
-	type outRow struct {
-		row  store.Row
-		keys store.Row
-	}
-	var outs []outRow
-	seen := map[string]bool{}
-	for _, r := range rel.rows {
-		f := &frame{rel: rel, row: r, parent: parent}
-		if stmt.Where != nil {
-			v, err := ex.eval(f, stmt.Where)
-			if err != nil {
-				return nil, err
-			}
-			if !isTrue(v) {
-				continue
-			}
-		}
-		row := make(store.Row, len(items))
-		for i, it := range items {
-			v, err := ex.eval(f, it)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		if stmt.Distinct {
-			k := rowKey(row)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		keys := make(store.Row, len(orderExprs))
-		for i, oe := range orderExprs {
-			v, err := ex.eval(f, oe)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		outs = append(outs, outRow{row: row, keys: keys})
-	}
-
-	if len(stmt.OrderBy) > 0 {
-		sort.SliceStable(outs, func(i, j int) bool {
-			return lessKeys(outs[i].keys, outs[j].keys, stmt.OrderBy)
-		})
-	}
-	rows := make([]store.Row, 0, len(outs))
-	for _, o := range outs {
-		rows = append(rows, o.row)
-	}
-	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
-		rows = rows[:stmt.Limit]
-	}
-	return &Result{Cols: cols, Rows: rows}, nil
-}
-
-// expandItems resolves SELECT items (expanding *) into expressions and
-// output column names.
-func expandItems(stmt *sql.SelectStmt, rel *relation) ([]sql.Expr, []string, error) {
-	var items []sql.Expr
-	var cols []string
-	for _, it := range stmt.Items {
-		if it.Star {
-			for _, b := range rel.bindings {
-				for _, c := range b.meta.Columns {
-					items = append(items, sql.ColumnRef{Table: b.name, Column: c.Name})
-					if len(rel.bindings) > 1 {
-						cols = append(cols, b.name+"."+c.Name)
-					} else {
-						cols = append(cols, c.Name)
-					}
-				}
-			}
-			continue
-		}
-		items = append(items, it.Expr)
-		cols = append(cols, itemName(it))
-	}
-	return items, cols, nil
-}
-
-func itemName(it sql.SelectItem) string {
-	if it.Alias != "" {
-		return it.Alias
-	}
-	if c, ok := it.Expr.(sql.ColumnRef); ok {
-		return c.Column
-	}
-	return it.Expr.String()
-}
-
-// substituteAliases maps ORDER BY expressions, replacing references to
-// select-list aliases with the aliased expressions.
-func substituteAliases(stmt *sql.SelectStmt, items []sql.Expr) ([]sql.Expr, error) {
-	aliases := map[string]sql.Expr{}
-	for i, it := range stmt.Items {
-		if !it.Star && it.Alias != "" {
-			aliases[it.Alias] = items[i]
-		}
-	}
-	out := make([]sql.Expr, len(stmt.OrderBy))
-	for i, o := range stmt.OrderBy {
-		e := o.Expr
-		if c, ok := e.(sql.ColumnRef); ok && c.Table == "" {
-			if sub, ok := aliases[c.Column]; ok {
-				e = sub
-			}
-		}
-		out[i] = e
-	}
-	return out, nil
-}
-
-func rowKey(r store.Row) string {
-	var b strings.Builder
-	for _, v := range r {
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
-	}
-	return b.String()
-}
-
-func lessKeys(a, b store.Row, order []sql.OrderItem) bool {
-	for i := range order {
-		c := store.Compare(a[i], b[i])
-		if c == 0 {
-			continue
-		}
-		if order[i].Desc {
-			return c > 0
-		}
-		return c < 0
-	}
-	return false
+	return ex.run(p, parent)
 }
 
 // isTrue collapses 3VL to acceptance.
-func isTrue(v store.Value) bool {
-	return v.Kind() == store.KindBool && v.BoolVal()
-}
+func isTrue(v store.Value) bool { return plan.IsTrue(v) }

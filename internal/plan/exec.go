@@ -1,0 +1,436 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// MaxProduct bounds cartesian products so a bad interpretation cannot
+// take the process down.
+const MaxProduct = 5_000_000
+
+// Ctx carries everything an executing plan needs: the database, the
+// expression evaluator, and the correlation parent for subquery plans.
+type Ctx struct {
+	DB     *store.DB
+	Ev     Evaluator
+	Parent *Frame
+}
+
+// iter is a Volcano-style pull iterator: (nil, nil) signals exhaustion.
+type iter func() (store.Row, error)
+
+// Run executes a compiled plan and materializes the output rows. The
+// pipeline itself streams: scans, filters, hash-join probes, projection
+// and LIMIT all process one row at a time, so a LIMIT without ORDER BY
+// stops reading its inputs early; only sorts, aggregate partitions and
+// join build sides buffer.
+func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
+	it, err := p.Root.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var rows []store.Row
+	for {
+		r, err := it()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+func (s *Scan) open(ctx *Ctx) (iter, error) {
+	tab := ctx.DB.Table(s.B.Meta.Name)
+	if tab == nil {
+		return nil, fmt.Errorf("plan: unknown table %q", s.B.Meta.Name)
+	}
+	rows := tab.Rows()
+	return projectRows(rows, s.B), nil
+}
+
+func (s *IndexScan) open(ctx *Ctx) (iter, error) {
+	tab := ctx.DB.Table(s.B.Meta.Name)
+	if tab == nil {
+		return nil, fmt.Errorf("plan: unknown table %q", s.B.Meta.Name)
+	}
+	var ids []int
+	var ok bool
+	if s.Eq != nil {
+		ids, ok = tab.LookupIndex(s.Col, *s.Eq)
+	} else {
+		ids, ok = tab.LookupRange(s.Col, s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+	}
+	if !ok {
+		return nil, fmt.Errorf("plan: index on %s.%s disappeared after planning",
+			s.B.Meta.Name, s.Col)
+	}
+	rows := make([]store.Row, len(ids))
+	for i, id := range ids {
+		rows[i] = tab.Row(id)
+	}
+	return projectRows(rows, s.B), nil
+}
+
+// projectRows iterates rows narrowed to the binding's retained columns
+// (zero-copy when nothing was pruned).
+func projectRows(rows []store.Row, b Binding) iter {
+	full := len(b.Cols) == len(b.Meta.Columns)
+	i := 0
+	return func() (store.Row, error) {
+		if i >= len(rows) {
+			return nil, nil
+		}
+		r := rows[i]
+		i++
+		if full {
+			return r, nil
+		}
+		out := make(store.Row, len(b.Cols))
+		for p, ci := range b.Cols {
+			out[p] = r[ci]
+		}
+		return out, nil
+	}
+}
+
+func (f *Filter) open(ctx *Ctx) (iter, error) {
+	in, err := f.In.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	frame := &Frame{Rel: f.In.Rel(), Parent: ctx.Parent}
+	return func() (store.Row, error) {
+		for {
+			r, err := in()
+			if err != nil || r == nil {
+				return nil, err
+			}
+			frame.Row = r
+			v, err := ctx.Ev.Eval(frame, f.Pred)
+			if err != nil {
+				return nil, err
+			}
+			if IsTrue(v) {
+				return r, nil
+			}
+		}
+	}, nil
+}
+
+func (j *HashJoin) open(ctx *Ctx) (iter, error) {
+	// Build side: materialize and hash the right input.
+	rit, err := j.R.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	table := map[string][]store.Row{}
+	for {
+		r, err := rit()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		if k, ok := joinKey(r, j.RKey); ok {
+			table[k] = append(table[k], r)
+		}
+	}
+	// Probe side streams.
+	lit, err := j.L.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	width := j.rel.Width
+	var matches []store.Row
+	var lrow store.Row
+	mi := 0
+	return func() (store.Row, error) {
+		for {
+			if mi < len(matches) {
+				r := concatRow(lrow, matches[mi], width)
+				mi++
+				return r, nil
+			}
+			var err error
+			lrow, err = lit()
+			if err != nil || lrow == nil {
+				return nil, err
+			}
+			if k, ok := joinKey(lrow, j.LKey); ok {
+				matches, mi = table[k], 0
+			} else {
+				matches, mi = nil, 0
+			}
+		}
+	}, nil
+}
+
+// joinKey builds the composite hash key; rows with any NULL key value
+// never match (SQL equality semantics).
+func joinKey(r store.Row, offs []int) (string, bool) {
+	var b strings.Builder
+	for _, o := range offs {
+		v := r[o]
+		if v.IsNull() {
+			return "", false
+		}
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String(), true
+}
+
+func (j *CrossJoin) open(ctx *Ctx) (iter, error) {
+	lrows, err := drain(j.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := drain(j.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(lrows)*len(rrows) > MaxProduct {
+		name := j.R.Rel().Bindings[0].Meta.Name
+		return nil, fmt.Errorf("plan: join of %s would produce over %d rows; add a join condition",
+			name, MaxProduct)
+	}
+	width := j.rel.Width
+	li, ri := 0, 0
+	return func() (store.Row, error) {
+		for {
+			if li >= len(lrows) {
+				return nil, nil
+			}
+			if ri >= len(rrows) {
+				li++
+				ri = 0
+				continue
+			}
+			r := concatRow(lrows[li], rrows[ri], width)
+			ri++
+			return r, nil
+		}
+	}, nil
+}
+
+func drain(n Node, ctx *Ctx) ([]store.Row, error) {
+	it, err := n.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var rows []store.Row
+	for {
+		r, err := it()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+func concatRow(l, r store.Row, width int) store.Row {
+	row := make(store.Row, 0, width)
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+func (p *Project) open(ctx *Ctx) (iter, error) {
+	in, err := p.In.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	frame := &Frame{Rel: p.In.Rel(), Parent: ctx.Parent}
+	n := len(p.Items) + len(p.SortKeys)
+	return func() (store.Row, error) {
+		r, err := in()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		frame.Row = r
+		out := make(store.Row, n)
+		for i, e := range p.Items {
+			if out[i], err = ctx.Ev.Eval(frame, e); err != nil {
+				return nil, err
+			}
+		}
+		for i, e := range p.SortKeys {
+			if out[len(p.Items)+i], err = ctx.Ev.Eval(frame, e); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}, nil
+}
+
+func (a *Aggregate) open(ctx *Ctx) (iter, error) {
+	rel := a.In.Rel()
+	input, err := drain(a.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	var groups []*Group
+	if len(a.GroupBy) == 0 {
+		// The global group exists even over empty input.
+		groups = []*Group{{Rel: rel, Rows: input, Parent: ctx.Parent}}
+	} else {
+		frame := &Frame{Rel: rel, Parent: ctx.Parent}
+		byKey := map[string]*Group{}
+		var order []string
+		for _, r := range input {
+			frame.Row = r
+			var key strings.Builder
+			for _, ge := range a.GroupBy {
+				v, err := ctx.Ev.Eval(frame, ge)
+				if err != nil {
+					return nil, err
+				}
+				key.WriteString(v.Key())
+				key.WriteByte('\x1f')
+			}
+			k := key.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &Group{Rel: rel, Parent: ctx.Parent}
+				byKey[k] = g
+				order = append(order, k)
+			}
+			g.Rows = append(g.Rows, r)
+		}
+		for _, k := range order {
+			groups = append(groups, byKey[k])
+		}
+	}
+
+	n := len(a.Items) + len(a.SortKeys)
+	gi := 0
+	return func() (store.Row, error) {
+		for {
+			if gi >= len(groups) {
+				return nil, nil
+			}
+			g := groups[gi]
+			gi++
+			if a.Having != nil {
+				v, err := ctx.Ev.EvalGroup(g, a.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !IsTrue(v) {
+					continue
+				}
+			}
+			out := make(store.Row, n)
+			for i, e := range a.Items {
+				v, err := ctx.Ev.EvalGroup(g, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			for i, e := range a.SortKeys {
+				v, err := ctx.Ev.EvalGroup(g, e)
+				if err != nil {
+					return nil, err
+				}
+				out[len(a.Items)+i] = v
+			}
+			return out, nil
+		}
+	}, nil
+}
+
+func (d *Distinct) open(ctx *Ctx) (iter, error) {
+	in, err := d.In.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	return func() (store.Row, error) {
+		for {
+			r, err := in()
+			if err != nil || r == nil {
+				return nil, err
+			}
+			k := prefixKey(r, d.N)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			return r, nil
+		}
+	}, nil
+}
+
+func prefixKey(r store.Row, n int) string {
+	var b strings.Builder
+	for i := 0; i < n && i < len(r); i++ {
+		b.WriteString(r[i].Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+func (s *Sort) open(ctx *Ctx) (iter, error) {
+	rows, err := drain(s.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	keep := s.Keep
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range s.Keys {
+			c := store.Compare(a[keep+k], b[keep+k])
+			if c == 0 {
+				continue
+			}
+			if s.Keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	i := 0
+	return func() (store.Row, error) {
+		if i >= len(rows) {
+			return nil, nil
+		}
+		r := rows[i][:keep]
+		i++
+		return r, nil
+	}, nil
+}
+
+func (l *Limit) open(ctx *Ctx) (iter, error) {
+	if l.N <= 0 {
+		return func() (store.Row, error) { return nil, nil }, nil
+	}
+	in, err := l.In.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	left := l.N
+	return func() (store.Row, error) {
+		if left <= 0 {
+			return nil, nil
+		}
+		r, err := in()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		left--
+		return r, nil
+	}, nil
+}

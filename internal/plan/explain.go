@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// Explain renders the plan as an indented operator tree with access
+// paths, join strategies and cardinality estimates — the output of the
+// console's :explain command and the planner's golden tests.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	explainNode(&b, p.Root, "", "")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func explainNode(b *strings.Builder, n Node, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(n.describe())
+	b.WriteByte('\n')
+	children := n.Children()
+	for i, c := range children {
+		if i == len(children)-1 {
+			explainNode(b, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			explainNode(b, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+func (s *Scan) describe() string {
+	return fmt.Sprintf("scan %s%s [est=%d]", bindingName(s.B), prunedNote(s.B), s.Est)
+}
+
+func (s *IndexScan) describe() string {
+	var cond string
+	if s.Eq != nil {
+		cond = fmt.Sprintf("%s = %s", s.Col, s.Eq)
+	} else {
+		lo, hi := "-inf", "+inf"
+		lob, hib := "(", ")"
+		if s.Lo != nil {
+			lo = s.Lo.String()
+			if s.LoIncl {
+				lob = "["
+			}
+		}
+		if s.Hi != nil {
+			hi = s.Hi.String()
+			if s.HiIncl {
+				hib = "]"
+			}
+		}
+		cond = fmt.Sprintf("%s in %s%s, %s%s", s.Col, lob, lo, hi, hib)
+	}
+	return fmt.Sprintf("index scan %s (%s)%s [est=%d]",
+		bindingName(s.B), cond, prunedNote(s.B), s.Est)
+}
+
+func (f *Filter) describe() string {
+	return fmt.Sprintf("filter %s [est=%d]", f.Pred, f.Est)
+}
+
+func (j *HashJoin) describe() string {
+	conds := make([]string, len(j.Conds))
+	for i, c := range j.Conds {
+		conds[i] = c.String()
+	}
+	return fmt.Sprintf("hash join on %s [est=%d]", strings.Join(conds, " AND "), j.Est)
+}
+
+func (j *CrossJoin) describe() string {
+	return fmt.Sprintf("cross join [est=%d]", j.Est)
+}
+
+func (p *Project) describe() string {
+	return "project " + exprList(p.Items)
+}
+
+func (a *Aggregate) describe() string {
+	s := "aggregate " + exprList(a.Items)
+	if len(a.GroupBy) > 0 {
+		s += " group by " + exprList(a.GroupBy)
+	}
+	if a.Having != nil {
+		s += " having " + a.Having.String()
+	}
+	return s
+}
+
+func (d *Distinct) describe() string { return "distinct" }
+
+func (s *Sort) describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return "sort by " + strings.Join(parts, ", ")
+}
+
+func (l *Limit) describe() string { return fmt.Sprintf("limit %d", l.N) }
+
+func bindingName(b Binding) string {
+	if b.Name != b.Meta.Name {
+		return b.Meta.Name + " AS " + b.Name
+	}
+	return b.Meta.Name
+}
+
+// prunedNote reports column pruning, e.g. " cols=2/5".
+func prunedNote(b Binding) string {
+	if len(b.Cols) == len(b.Meta.Columns) {
+		return ""
+	}
+	return fmt.Sprintf(" cols=%d/%d", len(b.Cols), len(b.Meta.Columns))
+}
+
+func exprList(es []sql.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

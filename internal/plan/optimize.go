@@ -1,0 +1,582 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+// Compile lowers stmt directly into an optimized plan — the path
+// exec.Query takes. It is equivalent to Build followed by Optimize but
+// skips constructing the naive tree.
+func Compile(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
+	return optimizeStmt(db, stmt)
+}
+
+// Optimize rewrites a naive plan using table statistics from the
+// store: WHERE conjuncts are pushed down to the scans they constrain
+// (or turned into index equality/range scans), scans are pruned to the
+// columns the query touches, and joins are reordered greedily so the
+// cheapest, most selective inputs join first. The rewrite never
+// changes results: every conjunct is either pushed, consumed by a hash
+// join, or kept in a residual filter above the joins, and three-valued
+// logic is preserved because a top-level AND accepts a row only when
+// every conjunct is exactly TRUE.
+func Optimize(db *store.DB, p *Plan) (*Plan, error) {
+	return optimizeStmt(db, p.Stmt)
+}
+
+func optimizeStmt(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
+	bindings, err := bindFrom(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	pruneColumns(bindings, stmt)
+
+	cls := classify(bindings, stmt.Where)
+
+	// Choose an access path per binding.
+	scans := make([]Node, len(bindings))
+	est := make([]float64, len(bindings))
+	for i, b := range bindings {
+		scans[i], est[i] = accessPath(db, b, cls.pushed[i])
+	}
+
+	order := greedyJoinOrder(db, bindings, est, cls.joins)
+
+	// Assemble the left-deep join tree, consuming join conjuncts.
+	used := make([]bool, len(cls.joins))
+	root := scans[order[0]]
+	placed := map[int]bool{order[0]: true}
+	outEst := est[order[0]]
+	for _, bi := range order[1:] {
+		var lkey, rkey []int
+		var conds []sql.Expr
+		sel := 1.0
+		for ci, jc := range cls.joins {
+			if used[ci] || !connects(jc, placed, bi) {
+				continue
+			}
+			lo, ro, ok := condOffsets(root.Rel(), scans[bi].Rel(), jc.cond)
+			if !ok {
+				continue
+			}
+			used[ci] = true
+			lkey = append(lkey, lo)
+			rkey = append(rkey, ro)
+			conds = append(conds, jc.cond.Expr)
+			sel *= joinSelectivity(db, bindings, jc)
+		}
+		rel := joinRel(root.Rel(), scans[bi].Rel())
+		outEst = outEst * est[bi] * sel
+		if len(lkey) > 0 {
+			root = &HashJoin{L: root, R: scans[bi], LKey: lkey, RKey: rkey,
+				Conds: conds, Est: ceilEst(outEst), rel: rel}
+		} else {
+			root = &CrossJoin{L: root, R: scans[bi], Est: ceilEst(outEst), rel: rel}
+		}
+		placed[bi] = true
+	}
+
+	// Conjuncts that could not be pushed or consumed stay on top.
+	residual := cls.residual
+	for ci, jc := range cls.joins {
+		if !used[ci] {
+			residual = append(residual, jc.cond.Expr)
+		}
+	}
+	if pred := sql.And(residual...); pred != nil {
+		outEst *= selProduct(residual)
+		root = &Filter{In: root, Pred: pred, Est: ceilEst(outEst)}
+	}
+
+	// SELECT * must expand in FROM order regardless of join order.
+	return finishPlan(root, fromOrderRel(bindings), stmt)
+}
+
+// fromOrderRel lays the bindings out in declaration order (offsets are
+// irrelevant for item expansion, which emits qualified references).
+func fromOrderRel(bindings []Binding) *Rel {
+	rel := &Rel{}
+	for _, b := range bindings {
+		b.Off = rel.Width
+		rel.Bindings = append(rel.Bindings, b)
+		rel.Width += len(b.Cols)
+	}
+	return rel
+}
+
+// pruneColumns narrows each binding to the columns the statement (or
+// any nested subquery correlating into it) references. SELECT * keeps
+// everything.
+func pruneColumns(bindings []Binding, stmt *sql.SelectStmt) {
+	for _, it := range stmt.Items {
+		if it.Star {
+			return // full width already bound by bindFrom
+		}
+	}
+	retained := make([]map[int]bool, len(bindings))
+	for i := range retained {
+		retained[i] = map[int]bool{}
+	}
+	WalkExprs(stmt, func(e sql.Expr) {
+		ref, ok := e.(sql.ColumnRef)
+		if !ok {
+			return
+		}
+		for i, b := range bindings {
+			if ref.Table != "" && ref.Table != b.Name {
+				continue
+			}
+			if ci := indexOfColumn(b.Meta, ref.Column); ci >= 0 {
+				retained[i][ci] = true
+			}
+		}
+	})
+	for i := range bindings {
+		cols := make([]int, 0, len(retained[i]))
+		for ci := range retained[i] {
+			cols = append(cols, ci)
+		}
+		sort.Ints(cols)
+		bindings[i].Cols = cols
+	}
+}
+
+// boundJoin is an equi-join conjunct resolved to a pair of bindings.
+type boundJoin struct {
+	cond   EquiJoin
+	bi, bj int // binding indexes of the two sides
+}
+
+func connects(jc boundJoin, placed map[int]bool, next int) bool {
+	return (placed[jc.bi] && jc.bj == next) || (placed[jc.bj] && jc.bi == next)
+}
+
+// classified is the WHERE clause split by where each conjunct can run.
+type classified struct {
+	pushed   [][]sql.Expr // per-binding single-table conjuncts
+	joins    []boundJoin  // two-table equi-join conjuncts
+	residual []sql.Expr   // everything else (subqueries, outer refs, ...)
+}
+
+// classify assigns every top-level AND conjunct to the deepest
+// operator that can evaluate it. Conjuncts containing subqueries,
+// references that resolve ambiguously, or references that resolve to
+// no local binding (outer correlation) are conservatively residual.
+func classify(bindings []Binding, where sql.Expr) classified {
+	cls := classified{pushed: make([][]sql.Expr, len(bindings))}
+	for _, c := range conjuncts(where) {
+		cls.place(bindings, c)
+	}
+	return cls
+}
+
+func (cls *classified) place(bindings []Binding, c sql.Expr) {
+	if containsSubquery(c) {
+		cls.residual = append(cls.residual, c)
+		return
+	}
+	touched := map[int]bool{}
+	clean := true
+	walkRefs(c, func(ref sql.ColumnRef) {
+		matches := 0
+		for i, b := range bindings {
+			if ref.Table != "" && ref.Table != b.Name {
+				continue
+			}
+			if indexOfColumn(b.Meta, ref.Column) >= 0 {
+				matches++
+				touched[i] = true
+			}
+		}
+		if matches != 1 {
+			clean = false
+		}
+	})
+	switch {
+	case !clean:
+		cls.residual = append(cls.residual, c)
+	case len(touched) == 0:
+		// Constant predicate (e.g. 1 = 2): residual, evaluated once
+		// per surviving row like the seed executor did.
+		cls.residual = append(cls.residual, c)
+	case len(touched) == 1:
+		for bi := range touched {
+			cls.pushed[bi] = append(cls.pushed[bi], c)
+		}
+	case len(touched) == 2:
+		if be, ok := c.(*sql.BinaryExpr); ok && be.Op == sql.OpEq {
+			lc, lok := be.L.(sql.ColumnRef)
+			rc, rok := be.R.(sql.ColumnRef)
+			if lok && rok {
+				var idx []int
+				for bi := range touched {
+					idx = append(idx, bi)
+				}
+				sort.Ints(idx)
+				cls.joins = append(cls.joins, boundJoin{
+					cond: EquiJoin{L: lc, R: rc, Expr: c}, bi: idx[0], bj: idx[1]})
+				return
+			}
+		}
+		cls.residual = append(cls.residual, c)
+	default:
+		cls.residual = append(cls.residual, c)
+	}
+}
+
+// walkRefs visits the column references of a subquery-free expression.
+func walkRefs(e sql.Expr, visit func(sql.ColumnRef)) {
+	switch n := e.(type) {
+	case sql.ColumnRef:
+		visit(n)
+	case *sql.BinaryExpr:
+		walkRefs(n.L, visit)
+		walkRefs(n.R, visit)
+	case *sql.NotExpr:
+		walkRefs(n.X, visit)
+	case *sql.NegExpr:
+		walkRefs(n.X, visit)
+	case *sql.FuncCall:
+		walkRefs(n.Arg, visit)
+	case *sql.InExpr:
+		walkRefs(n.X, visit)
+		for _, le := range n.List {
+			walkRefs(le, visit)
+		}
+	case *sql.BetweenExpr:
+		walkRefs(n.X, visit)
+		walkRefs(n.Lo, visit)
+		walkRefs(n.Hi, visit)
+	case *sql.LikeExpr:
+		walkRefs(n.X, visit)
+		walkRefs(n.Pattern, visit)
+	case *sql.IsNullExpr:
+		walkRefs(n.X, visit)
+	}
+}
+
+// accessPath picks the cheapest way to read one table under its pushed
+// conjuncts: an index equality probe, an index range scan, or a full
+// scan; leftover conjuncts become a filter above it.
+func accessPath(db *store.DB, b Binding, pushed []sql.Expr) (Node, float64) {
+	tab := db.Table(b.Meta.Name)
+	n := float64(tab.Len())
+	rel := relFor(b)
+
+	var node Node
+	used := make([]bool, len(pushed))
+
+	// Best indexed equality probe: highest distinct count wins. NULL
+	// literals never take an index path — "col = NULL" must evaluate
+	// to NULL (reject) per 3VL, not match NULL-keyed index entries.
+	bestEq, bestDistinct := -1, 0
+	for i, c := range pushed {
+		col, lit, ok := EqColLiteral(c)
+		if !ok || lit.Val.IsNull() || !tab.HasIndex(col.Column) {
+			continue
+		}
+		if st, ok := tab.Stats(col.Column); ok && st.Distinct > bestDistinct {
+			bestEq, bestDistinct = i, st.Distinct
+		}
+	}
+	if bestEq >= 0 {
+		col, lit, _ := EqColLiteral(pushed[bestEq])
+		used[bestEq] = true
+		v := lit.Val
+		st, _ := tab.Stats(col.Column)
+		n = n * st.Selectivity()
+		node = &IndexScan{B: b, Col: col.Column, Eq: &v, Est: ceilEst(n), rel: rel}
+	} else if col, lo, hi, loIncl, hiIncl, idxs := rangeBounds(tab, pushed); col != "" {
+		for _, i := range idxs {
+			used[i] = true
+		}
+		n = n * rangeSelectivity(tab, col, lo, hi)
+		node = &IndexScan{B: b, Col: col, Lo: lo, Hi: hi,
+			LoIncl: loIncl, HiIncl: hiIncl, Est: ceilEst(n), rel: rel}
+	} else {
+		node = &Scan{B: b, Est: ceilEst(n), rel: rel}
+	}
+
+	var leftover []sql.Expr
+	for i, c := range pushed {
+		if !used[i] {
+			leftover = append(leftover, c)
+		}
+	}
+	if pred := sql.And(leftover...); pred != nil {
+		n *= selProduct(leftover)
+		node = &Filter{In: node, Pred: pred, Est: ceilEst(n)}
+	}
+	return node, n
+}
+
+// rangeBounds collects comparison conjuncts against literals on one
+// ordered-indexed column and merges them into a single range. The
+// column with the most usable bounds wins.
+func rangeBounds(tab *store.Table, pushed []sql.Expr) (col string, lo, hi *store.Value, loIncl, hiIncl bool, used []int) {
+	type bound struct {
+		v    store.Value
+		incl bool
+		low  bool
+		idx  int
+	}
+	byCol := map[string][]bound{}
+	for i, c := range pushed {
+		switch e := c.(type) {
+		case *sql.BinaryExpr:
+			cr, lit, flipped, ok := cmpColLiteral(e)
+			// A NULL bound makes the whole comparison NULL (reject
+			// every row); leave it to the filter, never to the index.
+			if !ok || lit.Val.IsNull() || !tab.HasOrderedIndex(cr.Column) {
+				continue
+			}
+			op := e.Op
+			if flipped { // literal OP col  =>  col OP' literal
+				switch op {
+				case sql.OpLt:
+					op = sql.OpGt
+				case sql.OpLe:
+					op = sql.OpGe
+				case sql.OpGt:
+					op = sql.OpLt
+				case sql.OpGe:
+					op = sql.OpLe
+				}
+			}
+			switch op {
+			case sql.OpGt:
+				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, false, true, i})
+			case sql.OpGe:
+				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, true, true, i})
+			case sql.OpLt:
+				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, false, false, i})
+			case sql.OpLe:
+				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, true, false, i})
+			}
+		case *sql.BetweenExpr:
+			cr, ok := e.X.(sql.ColumnRef)
+			if !ok || e.Negated || !tab.HasOrderedIndex(cr.Column) {
+				continue
+			}
+			loLit, lok := e.Lo.(sql.Literal)
+			hiLit, hok := e.Hi.(sql.Literal)
+			if !lok || !hok || loLit.Val.IsNull() || hiLit.Val.IsNull() {
+				continue
+			}
+			byCol[cr.Column] = append(byCol[cr.Column],
+				bound{loLit.Val, true, true, i}, bound{hiLit.Val, true, false, i})
+		}
+	}
+	var bestCol string
+	for c, bs := range byCol {
+		if bestCol == "" || len(bs) > len(byCol[bestCol]) ||
+			(len(bs) == len(byCol[bestCol]) && c < bestCol) {
+			bestCol = c
+		}
+	}
+	if bestCol == "" {
+		return "", nil, nil, false, false, nil
+	}
+	seen := map[int]bool{}
+	for _, b := range byCol[bestCol] {
+		v := b.v
+		if b.low {
+			if lo == nil || store.Compare(v, *lo) > 0 || (store.Compare(v, *lo) == 0 && !b.incl) {
+				lo, loIncl = &v, b.incl
+			}
+		} else {
+			if hi == nil || store.Compare(v, *hi) < 0 || (store.Compare(v, *hi) == 0 && !b.incl) {
+				hi, hiIncl = &v, b.incl
+			}
+		}
+		if !seen[b.idx] {
+			seen[b.idx] = true
+			used = append(used, b.idx)
+		}
+	}
+	return bestCol, lo, hi, loIncl, hiIncl, used
+}
+
+// rangeSelectivity interpolates numeric ranges against column min/max
+// statistics, defaulting to 1/3 when interpolation is impossible.
+func rangeSelectivity(tab *store.Table, col string, lo, hi *store.Value) float64 {
+	st, ok := tab.Stats(col)
+	if !ok || st.Min.IsNull() || st.Max.IsNull() {
+		return 1.0 / 3
+	}
+	minF, okMin := st.Min.AsFloat()
+	maxF, okMax := st.Max.AsFloat()
+	if !okMin || !okMax || maxF <= minF {
+		return 1.0 / 3
+	}
+	span := maxF - minF
+	from, to := minF, maxF
+	if lo != nil {
+		if f, ok := lo.AsFloat(); ok && f > from {
+			from = f
+		}
+	}
+	if hi != nil {
+		if f, ok := hi.AsFloat(); ok && f < to {
+			to = f
+		}
+	}
+	if to <= from {
+		return 1.0 / float64(maxInt(st.Rows, 1))
+	}
+	return (to - from) / span
+}
+
+// selProduct multiplies default selectivities for non-indexable
+// conjuncts: equality 1/10, LIKE 1/4, everything else 1/3.
+func selProduct(conds []sql.Expr) float64 {
+	sel := 1.0
+	for _, c := range conds {
+		switch e := c.(type) {
+		case *sql.BinaryExpr:
+			if e.Op == sql.OpEq {
+				sel *= 0.1
+			} else {
+				sel /= 3
+			}
+		case *sql.LikeExpr:
+			sel /= 4
+		default:
+			sel /= 3
+		}
+	}
+	return sel
+}
+
+// greedyJoinOrder picks the starting binding with the lowest estimated
+// cardinality, then repeatedly joins the connected binding that yields
+// the smallest estimated intermediate result, falling back to the
+// smallest unconnected binding (cartesian). Ties break on declaration
+// order so plans are deterministic.
+func greedyJoinOrder(db *store.DB, bindings []Binding, est []float64, joins []boundJoin) []int {
+	n := len(bindings)
+	if n == 1 {
+		return []int{0}
+	}
+	placed := make([]bool, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		if est[i] < est[start] {
+			start = i
+		}
+	}
+	order := []int{start}
+	placed[start] = true
+	cur := est[start]
+	for len(order) < n {
+		next, bestCost, connectedNext := -1, 0.0, false
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			sel := 1.0
+			connected := false
+			for _, jc := range joins {
+				if (placed[jc.bi] && jc.bj == i) || (placed[jc.bj] && jc.bi == i) {
+					connected = true
+					sel *= joinSelectivity(db, bindings, jc)
+				}
+			}
+			cost := cur * est[i] * sel
+			better := next == -1 ||
+				(connected && !connectedNext) ||
+				(connected == connectedNext && cost < bestCost)
+			if better {
+				next, bestCost, connectedNext = i, cost, connected
+			}
+		}
+		placed[next] = true
+		order = append(order, next)
+		cur = bestCost
+	}
+	return order
+}
+
+// joinSelectivity estimates an equi-join conjunct as 1/max(distinct
+// values on either side).
+func joinSelectivity(db *store.DB, bindings []Binding, jc boundJoin) float64 {
+	d := 1
+	for _, side := range []struct {
+		bi  int
+		ref sql.ColumnRef
+	}{{jc.bi, jc.cond.L}, {jc.bj, jc.cond.R}, {jc.bi, jc.cond.R}, {jc.bj, jc.cond.L}} {
+		b := bindings[side.bi]
+		if side.ref.Table != "" && side.ref.Table != b.Name {
+			continue
+		}
+		if indexOfColumn(b.Meta, side.ref.Column) < 0 {
+			continue
+		}
+		if st, ok := db.Table(b.Meta.Name).Stats(side.ref.Column); ok && st.Distinct > d {
+			d = st.Distinct
+		}
+	}
+	return 1.0 / float64(d)
+}
+
+// EqColLiteral matches "col = literal" in either orientation.
+func EqColLiteral(e sql.Expr) (sql.ColumnRef, sql.Literal, bool) {
+	be, ok := e.(*sql.BinaryExpr)
+	if !ok || be.Op != sql.OpEq {
+		return sql.ColumnRef{}, sql.Literal{}, false
+	}
+	if c, ok := be.L.(sql.ColumnRef); ok {
+		if l, ok := be.R.(sql.Literal); ok {
+			return c, l, true
+		}
+	}
+	if c, ok := be.R.(sql.ColumnRef); ok {
+		if l, ok := be.L.(sql.Literal); ok {
+			return c, l, true
+		}
+	}
+	return sql.ColumnRef{}, sql.Literal{}, false
+}
+
+// cmpColLiteral matches a comparison between a column and a literal;
+// flipped reports the literal being on the left.
+func cmpColLiteral(be *sql.BinaryExpr) (sql.ColumnRef, sql.Literal, bool, bool) {
+	if !be.Op.IsComparison() {
+		return sql.ColumnRef{}, sql.Literal{}, false, false
+	}
+	if c, ok := be.L.(sql.ColumnRef); ok {
+		if l, ok := be.R.(sql.Literal); ok {
+			return c, l, false, true
+		}
+	}
+	if c, ok := be.R.(sql.ColumnRef); ok {
+		if l, ok := be.L.(sql.Literal); ok {
+			return c, l, true, true
+		}
+	}
+	return sql.ColumnRef{}, sql.Literal{}, false, false
+}
+
+func ceilEst(f float64) int {
+	if f <= 0 {
+		return 0
+	}
+	n := int(f)
+	if float64(n) < f {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

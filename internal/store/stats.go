@@ -1,0 +1,152 @@
+package store
+
+import "sort"
+
+// ColStats summarizes one column for the query planner: row and NULL
+// counts, the number of distinct non-NULL values, and the value range.
+// Min/Max are NULL values when the column holds no non-NULL cells.
+type ColStats struct {
+	Rows     int
+	Nulls    int
+	Distinct int
+	Min, Max Value
+}
+
+// Selectivity estimates the fraction of rows an equality predicate on
+// this column keeps: 1/distinct, clamped to (0, 1].
+func (s ColStats) Selectivity() float64 {
+	if s.Rows == 0 {
+		return 1
+	}
+	d := s.Distinct
+	if d < 1 {
+		d = 1
+	}
+	sel := 1.0 / float64(d)
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// Stats returns the (lazily computed, cached) statistics for the named
+// column. The second result is false when the column does not exist.
+// The cache is invalidated by Insert. Unlike the rest of the table,
+// the stats cache is mutex-guarded: planning lazily populates it, and
+// concurrent read-only queries over one database must stay safe even
+// though mutation is single-writer by contract.
+func (t *Table) Stats(col string) (ColStats, bool) {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return ColStats{}, false
+	}
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats == nil {
+		t.stats = make(map[string]ColStats, len(t.Meta.Columns))
+	}
+	if s, ok := t.stats[col]; ok {
+		return s, true
+	}
+	s := ColStats{Rows: len(t.rows)}
+	distinct := make(map[string]struct{})
+	for _, row := range t.rows {
+		v := row[ci]
+		if v.IsNull() {
+			s.Nulls++
+			continue
+		}
+		distinct[v.Key()] = struct{}{}
+		if s.Min.IsNull() || Compare(v, s.Min) < 0 {
+			s.Min = v
+		}
+		if s.Max.IsNull() || Compare(v, s.Max) > 0 {
+			s.Max = v
+		}
+	}
+	s.Distinct = len(distinct)
+	t.stats[col] = s
+	return s, true
+}
+
+// invalidateStats drops cached statistics after a mutation.
+func (t *Table) invalidateStats() {
+	t.statsMu.Lock()
+	t.stats = nil
+	t.statsMu.Unlock()
+}
+
+// BuildOrderedIndex creates (or rebuilds) an ordered index on the named
+// column: row ids sorted by column value (NULLs first, store.Compare
+// order). It enables LookupRange for range predicates.
+func (t *Table) BuildOrderedIndex(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return errNoColumn(t, col)
+	}
+	ids := make([]int, len(t.rows))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return Compare(t.rows[ids[a]][ci], t.rows[ids[b]][ci]) < 0
+	})
+	if t.ord == nil {
+		t.ord = make(map[string][]int)
+	}
+	t.ord[col] = ids
+	return nil
+}
+
+// HasOrderedIndex reports whether the column has an ordered index.
+func (t *Table) HasOrderedIndex(col string) bool {
+	_, ok := t.ord[col]
+	return ok
+}
+
+// LookupRange returns the ids of rows whose column value lies between
+// lo and hi (either bound may be nil for unbounded), honoring bound
+// inclusivity, in ascending value order. NULL cells never match. The
+// second result is false when the column has no ordered index.
+func (t *Table) LookupRange(col string, lo, hi *Value, loIncl, hiIncl bool) ([]int, bool) {
+	ids, ok := t.ord[col]
+	if !ok {
+		return nil, false
+	}
+	ci := t.colIdx[col]
+	val := func(i int) Value { return t.rows[ids[i]][ci] }
+
+	// Start: skip NULLs (which sort first), then apply the low bound.
+	start := sort.Search(len(ids), func(i int) bool { return !val(i).IsNull() })
+	if lo != nil {
+		start = sort.Search(len(ids), func(i int) bool {
+			v := val(i)
+			if v.IsNull() {
+				return false
+			}
+			c := Compare(v, *lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ids)
+	if hi != nil {
+		end = sort.Search(len(ids), func(i int) bool {
+			v := val(i)
+			if v.IsNull() {
+				return false
+			}
+			c := Compare(v, *hi)
+			if hiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil, true
+	}
+	return ids[start:end], true
+}

@@ -2,16 +2,22 @@ package store
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/schema"
 )
 
-// Table holds the rows of one relation plus optional hash indexes.
+// Table holds the rows of one relation plus optional hash and ordered
+// indexes and cached per-column statistics for the query planner.
 type Table struct {
-	Meta   *schema.Table
-	rows   []Row
-	colIdx map[string]int
-	hash   map[string]map[string][]int // column -> value key -> row ids
+	Meta    *schema.Table
+	rows    []Row
+	colIdx  map[string]int
+	hash    map[string]map[string][]int // column -> value key -> row ids
+	ord     map[string][]int            // column -> row ids sorted by value
+	statsMu sync.Mutex
+	stats   map[string]ColStats // column -> cached statistics; see Stats
 }
 
 // NewTable creates an empty table for the given schema table.
@@ -68,6 +74,18 @@ func (t *Table) Insert(vals ...Value) error {
 		k := row[ci].Key()
 		idx[k] = append(idx[k], id)
 	}
+	for col, ids := range t.ord {
+		ci := t.colIdx[col]
+		v := row[ci]
+		pos := sort.Search(len(ids), func(i int) bool {
+			return Compare(t.rows[ids[i]][ci], v) > 0
+		})
+		ids = append(ids, 0)
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = id
+		t.ord[col] = ids
+	}
+	t.invalidateStats()
 	return nil
 }
 
@@ -99,11 +117,12 @@ func coerce(v Value, want schema.ColType) (Value, error) {
 	return Value{}, fmt.Errorf("cannot store %s value into %s column", v.Kind(), want)
 }
 
-// BuildIndex creates (or rebuilds) a hash index on the named column.
+// BuildIndex creates (or rebuilds) a hash index on the named column,
+// along with an ordered companion index that serves range predicates.
 func (t *Table) BuildIndex(col string) error {
 	ci := t.ColIndex(col)
 	if ci < 0 {
-		return fmt.Errorf("store: table %s has no column %s", t.Meta.Name, col)
+		return errNoColumn(t, col)
 	}
 	idx := make(map[string][]int)
 	for id, row := range t.rows {
@@ -111,7 +130,11 @@ func (t *Table) BuildIndex(col string) error {
 		idx[k] = append(idx[k], id)
 	}
 	t.hash[col] = idx
-	return nil
+	return t.BuildOrderedIndex(col)
+}
+
+func errNoColumn(t *Table, col string) error {
+	return fmt.Errorf("store: table %s has no column %s", t.Meta.Name, col)
 }
 
 // HasIndex reports whether the column has a hash index.
@@ -186,14 +209,19 @@ func (db *DB) BuildPrimaryIndexes() error {
 	return nil
 }
 
-// DropIndex removes the hash index on the named column, if any.
-func (t *Table) DropIndex(col string) { delete(t.hash, col) }
+// DropIndex removes the hash and ordered indexes on the named column,
+// if any.
+func (t *Table) DropIndex(col string) {
+	delete(t.hash, col)
+	delete(t.ord, col)
+}
 
-// DropAllIndexes removes every hash index in the database — the "scan"
+// DropAllIndexes removes every index in the database — the "scan"
 // configuration of the access-path experiment (F2).
 func (db *DB) DropAllIndexes() {
 	for _, t := range db.tables {
 		t.hash = make(map[string]map[string][]int)
+		t.ord = nil
 	}
 }
 

@@ -117,3 +117,13 @@ func Datasets() []string { return dataset.Names() }
 
 // FormatResult renders a result as an aligned text table.
 func FormatResult(r *Result) string { return exec.FormatResult(r) }
+
+// Explain compiles stmt against db and renders the optimized execution
+// plan the engine would run — the console's :explain command.
+func Explain(db *DB, stmt *sql.SelectStmt) (string, error) {
+	p, err := exec.BuildPlan(db, stmt)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
