@@ -7,6 +7,7 @@ package nli
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -135,8 +136,11 @@ func BenchmarkT6Baselines(b *testing.B) {
 
 // BenchmarkF1Stages measures the staged pipeline on representative
 // questions (the figure plots the per-stage split from core.Timings).
+// The answer cache is off: a profile of cache hits would time nothing.
 func BenchmarkF1Stages(b *testing.B) {
-	e := core.NewEngine(dataset.University(1), core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.AnswerCacheSize = 0
+	e := core.NewEngine(dataset.University(1), opts)
 	questions := []string{
 		"show all students",
 		"students with gpa over 3.5",
@@ -233,20 +237,48 @@ func BenchmarkF4JoinPath(b *testing.B) {
 // cost-based join ordering buy on multi-table equi-joins.
 func BenchmarkF5JoinHeavy(b *testing.B) {
 	db := dataset.University(4)
-	queries := []struct{ name, query string }{
+	queries := []struct {
+		name, query string
+		parallel    bool // heavy enough that the rewrite must insert an exchange
+	}{
 		{"join4", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
 			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
-			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7", true},
 		{"join3agg", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
-			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name", true},
+		// A point lookup stays serial: the rewrite declines cheap plans.
 		{"pointjoin", "SELECT s.name, d.name FROM students s, departments d " +
-			"WHERE s.dept_id = d.dept_id AND s.id = 7"},
+			"WHERE s.dept_id = d.dept_id AND s.id = 7", false},
+	}
+	// The parallel worker degree: hardware width, but at least 4 so the
+	// exchange machinery is exercised (and regressions fail loudly)
+	// even on small CI boxes.
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
 	}
 	for _, q := range queries {
 		stmt := sql.MustParse(q.query)
 		b.Run(q.name+"/planned", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Query(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Compiles per iteration exactly like /planned above, so the
+		// two series differ only in execution strategy.
+		b.Run(q.name+"/planned-parallel", func(b *testing.B) {
+			p, err := exec.BuildPlanParallel(db, stmt, par)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := p.OperatorCounts()["exchange"] > 0; got != q.parallel {
+				b.Fatalf("%s: exchange operator present=%v, want %v", q.name, got, q.parallel)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.QueryParallel(db, stmt, par); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -258,6 +290,32 @@ func BenchmarkF5JoinHeavy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkF6ParallelSpeedup measures the parallel executor against
+// the serial plans across worker degrees on the join- and
+// aggregate-heavy queries at dataset scale 4 (figure F6), verifying
+// result equality as it goes.
+func BenchmarkF6ParallelSpeedup(b *testing.B) {
+	db := dataset.University(4)
+	queries := []struct{ name, query string }{
+		{"join4", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"join3agg", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+	}
+	for _, q := range queries {
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/par=%d", q.name, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.MeasureParallelSpeedup(db, q.name, q.query, par, 3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -278,17 +336,44 @@ func BenchmarkF5PlanShapes(b *testing.B) {
 	}
 }
 
-// BenchmarkAskEndToEnd is the headline single-question latency.
+// BenchmarkAskEndToEnd is the headline single-question latency with
+// the answer cache disabled — every iteration pays the full pipeline.
 func BenchmarkAskEndToEnd(b *testing.B) {
-	eng, err := Open("university", 1)
+	opts := DefaultOptions()
+	opts.AnswerCacheSize = 0
+	db, err := Dataset("university", 1)
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng := New(db, opts)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Ask("students with gpa over 3.5"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskEndToEndCached is the serving-path latency: the same hot
+// question answered through the engine answer cache.
+func BenchmarkAskEndToEndCached(b *testing.B) {
+	eng, err := Open("university", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Ask("students with gpa over 3.5"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := eng.Ask("students with gpa over 3.5")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ans.Cached {
+			b.Fatal("expected a cache hit")
 		}
 	}
 }

@@ -90,7 +90,7 @@ func main() {
 				fmt.Println("  sorry:", err)
 				continue
 			}
-			p, err := nli.Explain(eng.DB, stmt)
+			p, err := nli.ExplainParallel(eng.DB, stmt, eng.Options().Parallelism)
 			if err != nil {
 				fmt.Println("  sorry:", err)
 				continue

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,9 +34,9 @@ func main() {
 		"T1": expT1, "T2": expT2, "T3": expT3, "T4": expT4,
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
-		"F5": expF5,
+		"F5": expF5, "F6": expF6,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -266,7 +267,11 @@ func expF1() error {
 	if err != nil {
 		return err
 	}
-	e := core.NewEngine(db, core.DefaultOptions())
+	// The answer cache is off: F1 profiles the pipeline stages, and a
+	// profile of cache hits would time nothing.
+	opts := core.DefaultOptions()
+	opts.AnswerCacheSize = 0
+	e := core.NewEngine(db, opts)
 	sets := []struct {
 		name      string
 		questions []string
@@ -419,6 +424,34 @@ func expF5() error {
 			return err
 		}
 		fmt.Printf("%-28s %12s %12s %7.1fx\n", sp.Name, sp.Planned, sp.Reference, sp.Factor())
+	}
+	return nil
+}
+
+// expF6 prints the parallel-execution speedup of the exchange operator
+// over serial plans as the worker degree sweeps past the hardware
+// width, on the join- and aggregate-heavy queries at scale 4.
+func expF6() error {
+	header("F6", fmt.Sprintf("parallel speedup vs worker degree (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	db := dataset.University(4)
+	queries := []struct{ name, query string }{
+		{"4-table filtered join", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"agg over 3-table join", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+		{"grouped avg, full scan", "SELECT d.name, AVG(s.gpa) FROM students s, departments d " +
+			"WHERE s.dept_id = d.dept_id GROUP BY d.name"},
+	}
+	fmt.Printf("%-24s %6s %12s %12s %8s\n", "query (university, x4)", "par", "serial", "parallel", "speedup")
+	for _, q := range queries {
+		for _, par := range []int{2, 4, 8, 16} {
+			sp, err := bench.MeasureParallelSpeedup(db, q.name, q.query, par, 20)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s %6d %12s %12s %7.2fx\n", sp.Name, sp.Par, sp.Serial, sp.Parallel, sp.Factor())
+		}
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/store"
+	"repro/internal/strutil"
+)
+
+// answerCache memoizes complete answers by their corrected-token key
+// so repeated hot questions skip the whole pipeline — the serving-path
+// counterpart of the per-query plan and subquery caches. Entries are
+// valid for exactly one store data version: the first lookup after any
+// mutation flushes the cache wholesale, which is the only sound policy
+// when any insert can change any answer. The cache is safe for
+// concurrent lookups and stores (high-QPS serving shares one engine).
+type answerCache struct {
+	mu      sync.Mutex
+	size    int
+	version uint64
+	entries map[string]*Answer
+}
+
+func newAnswerCache(size int) *answerCache {
+	return &answerCache{size: size, entries: make(map[string]*Answer)}
+}
+
+// lookup returns the cached answer for key at the given data version,
+// or nil. A reader at a *newer* version than the cache means the data
+// moved: flush and advance. A reader at an *older* version (sampled
+// its version, then got descheduled past an insert) just misses — it
+// must not wipe entries other requests rebuilt at the newer version,
+// nor drag c.version backwards.
+func (c *answerCache) lookup(key string, version uint64) *Answer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version > c.version {
+		c.entries = make(map[string]*Answer)
+		c.version = version
+		return nil
+	}
+	if version < c.version {
+		return nil
+	}
+	return c.entries[key]
+}
+
+// store records a successful answer computed at the given data
+// version. A writer that read an older version than the cache has
+// already advanced to is dropped — its answer is stale, and flushing
+// fresh entries for it would regress the version and thrash the
+// cache. When full, an arbitrary entry is evicted — hot questions
+// re-enter on their next ask, and the bound is what matters.
+func (c *answerCache) store(key string, version uint64, ans *Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version < c.version {
+		return
+	}
+	if version > c.version {
+		c.entries = make(map[string]*Answer)
+		c.version = version
+	}
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.size {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = ans
+}
+
+// snapshot is the defensive copy an answer crosses the cache boundary
+// as — in both directions. The struct is copied and the result rows
+// are cloned, so a caller sorting or rewriting the rows of its answer
+// cannot poison the cached entry, and vice versa. Interpretation
+// structures (Query, SQL, Plan, Ranked) stay shared: they are
+// treated as immutable once the answer is built.
+func snapshot(ans *Answer) *Answer {
+	cp := *ans
+	if ans.Result != nil {
+		res := &exec.Result{
+			Cols: append([]string(nil), ans.Result.Cols...),
+			Rows: make([]store.Row, len(ans.Result.Rows)),
+		}
+		for i, r := range ans.Result.Rows {
+			res.Rows[i] = append(store.Row(nil), r...)
+		}
+		cp.Result = res
+	}
+	return &cp
+}
+
+// cacheKey normalizes corrected tokens into the answer-cache key:
+// token kind plus surface text, so questions differing only in
+// whitespace — or in typos the corrector repairs to the same tokens —
+// share an entry, while quoted values keep their case.
+func cacheKey(toks []strutil.Token) string {
+	var b []byte
+	for i, t := range toks {
+		if i > 0 {
+			b = append(b, '\x1f')
+		}
+		b = strconv.AppendInt(b, int64(t.Kind), 10)
+		b = append(b, ':')
+		b = append(b, t.Text...)
+	}
+	return string(b)
+}

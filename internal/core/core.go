@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/dialog"
@@ -30,16 +32,30 @@ type Options struct {
 	Grammar      grammar.Options
 	Weights      interp.Weights
 	SpellMaxDist int // maximum edit distance for correction; 0 disables
+
+	// Parallelism is the worker degree query execution runs at: plans
+	// get an exchange operator driving that many morsel workers.
+	// 0 resolves to runtime.GOMAXPROCS(0); 1 reproduces the serial
+	// plans exactly (the ablation setting).
+	Parallelism int
+
+	// AnswerCacheSize bounds the engine answer cache (entries), keyed
+	// by corrected tokens and invalidated by the store data version.
+	// 0 disables caching — set that when measuring pipeline latency.
+	AnswerCacheSize int
 }
 
 // DefaultOptions enables everything with spelling correction at
-// distance 1 (the conservative era setting; T5 sweeps this).
+// distance 1 (the conservative era setting; T5 sweeps this),
+// hardware-width parallel execution and a bounded answer cache.
 func DefaultOptions() Options {
 	return Options{
-		Index:        semindex.DefaultOptions(),
-		Grammar:      grammar.DefaultOptions(),
-		Weights:      interp.DefaultWeights(),
-		SpellMaxDist: 1,
+		Index:           semindex.DefaultOptions(),
+		Grammar:         grammar.DefaultOptions(),
+		Weights:         interp.DefaultWeights(),
+		SpellMaxDist:    1,
+		Parallelism:     runtime.GOMAXPROCS(0),
+		AnswerCacheSize: 1024,
 	}
 }
 
@@ -66,29 +82,40 @@ type Answer struct {
 	Result      *exec.Result
 	Paraphrase  string // English echo of the interpretation
 	Response    string // English rendering of the result
+	Cached      bool   // served from the answer cache, pipeline skipped
 	Timings     Timings
 }
 
 // Ambiguity reports how contested the interpretation was.
 func (a *Answer) Ambiguity() interp.Ambiguity { return interp.Measure(a.Ranked) }
 
-// Engine is a natural language interface bound to one database.
+// Engine is a natural language interface bound to one database. A
+// built engine is safe for concurrent Ask calls — the serving setup is
+// one engine shared by every request handler.
 type Engine struct {
-	DB   *store.DB
-	Idx  *semindex.Index
-	G    *grammar.Grammar
-	opts Options
+	DB    *store.DB
+	Idx   *semindex.Index
+	G     *grammar.Grammar
+	opts  Options
+	cache *answerCache // nil when AnswerCacheSize is 0
 }
 
 // NewEngine builds the semantic index and grammar for db.
 func NewEngine(db *store.DB, opts Options) *Engine {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	idx := semindex.Build(db, opts.Index)
-	return &Engine{
+	e := &Engine{
 		DB:   db,
 		Idx:  idx,
 		G:    grammar.New(idx, opts.Grammar),
 		opts: opts,
 	}
+	if opts.AnswerCacheSize > 0 {
+		e.cache = newAnswerCache(opts.AnswerCacheSize)
+	}
+	return e
 }
 
 // Name identifies the full pipeline in benchmark reports.
@@ -104,20 +131,30 @@ func (e *Engine) Translate(question string) (*sql.SelectStmt, error) {
 	return stmt, err
 }
 
+// correctTokens tokenizes the question and repairs spelling, returning
+// the corrected tokens, the repairs, and the stage latency.
+func (e *Engine) correctTokens(question string) ([]strutil.Token, []semindex.Correction, time.Duration) {
+	toks := strutil.Tokenize(question)
+	start := time.Now()
+	var fixes []semindex.Correction
+	if e.opts.SpellMaxDist > 0 {
+		toks, fixes = e.Idx.Correct(toks, e.opts.SpellMaxDist)
+	}
+	return toks, fixes, time.Since(start)
+}
+
 // interpret runs the pipeline up to SQL generation.
 func (e *Engine) interpret(question string) (*Answer, *sql.SelectStmt, Timings, error) {
-	var tm Timings
-	ans := &Answer{Question: question}
+	toks, fixes, d := e.correctTokens(question)
+	return e.interpretTokens(question, toks, fixes, d)
+}
 
-	toks := strutil.Tokenize(question)
+// interpretTokens runs the pipeline from corrected tokens to SQL.
+func (e *Engine) interpretTokens(question string, toks []strutil.Token, fixes []semindex.Correction, correct time.Duration) (*Answer, *sql.SelectStmt, Timings, error) {
+	tm := Timings{Correct: correct}
+	ans := &Answer{Question: question, Corrections: fixes}
 
 	start := time.Now()
-	if e.opts.SpellMaxDist > 0 {
-		toks, ans.Corrections = e.Idx.Correct(toks, e.opts.SpellMaxDist)
-	}
-	tm.Correct = time.Since(start)
-
-	start = time.Now()
 	prepared := e.G.Prepare(toks)
 	tm.Annotate = time.Since(start)
 
@@ -155,19 +192,51 @@ func (e *Engine) Interpret(question string) (*Answer, error) {
 	return ans, err
 }
 
-// Ask answers a question end to end.
+// Ask answers a question end to end. Repeated questions whose
+// corrected tokens match a cached entry at the current store data
+// version skip the whole pipeline.
 func (e *Engine) Ask(question string) (*Answer, error) {
 	total := time.Now()
-	ans, stmt, tm, err := e.interpret(question)
+	toks, fixes, correct := e.correctTokens(question)
+
+	var key string
+	var version uint64
+	if e.cache != nil {
+		key = cacheKey(toks)
+		version = e.DB.DataVersion()
+		if hit := e.cache.lookup(key, version); hit != nil {
+			ans := snapshot(hit)
+			ans.Question = question
+			ans.Corrections = fixes // this ask's repairs, not the cached ask's
+			ans.Cached = true
+			ans.Timings = Timings{Correct: correct, Total: time.Since(total)}
+			return ans, nil
+		}
+	}
+
+	ans, stmt, tm, err := e.interpretTokens(question, toks, fixes, correct)
 	if err != nil {
 		return ans, err
 	}
+	if err := e.execute(ans, stmt, &tm); err != nil {
+		return ans, err
+	}
+	tm.Total = time.Since(total)
+	ans.Timings = tm
+	if e.cache != nil {
+		e.cache.store(key, version, snapshot(ans))
+	}
+	return ans, nil
+}
 
+// execute plans stmt at the engine's parallelism degree, runs it and
+// verbalizes the result into ans, filling the plan/execute timings.
+func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, tm *Timings) error {
 	start := time.Now()
-	p, err := exec.BuildPlan(e.DB, stmt)
+	p, err := exec.BuildPlanParallel(e.DB, stmt, e.opts.Parallelism)
 	tm.Plan = time.Since(start)
 	if err != nil {
-		return ans, fmt.Errorf("core: planning %q: %w", stmt, err)
+		return fmt.Errorf("core: planning %q: %w", stmt, err)
 	}
 	ans.Plan = p
 
@@ -175,20 +244,23 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 	res, err := exec.Run(e.DB, p)
 	tm.Execute = time.Since(start)
 	if err != nil {
-		return ans, fmt.Errorf("core: executing %q: %w", stmt, err)
+		return fmt.Errorf("core: executing %q: %w", stmt, err)
 	}
 	ans.Result = res
 	ans.Paraphrase = nlg.Paraphrase(ans.Query, e.DB.Schema)
 	ans.Response = nlg.Respond(ans.Query, res, e.DB.Schema)
-	tm.Total = time.Since(total)
-	ans.Timings = tm
-	return ans, nil
+	return nil
 }
 
-// Conversation is a multi-turn session over the engine.
+// Conversation is a multi-turn session over the engine. The dialogue
+// context is mutable state, so a Conversation serializes its own turns
+// internally — concurrent Asks on one Conversation are safe, they just
+// order arbitrarily. Independent Conversations over a shared engine
+// run fully in parallel.
 type Conversation struct {
-	e *Engine
-	s *dialog.Session
+	mu sync.Mutex
+	e  *Engine
+	s  *dialog.Session
 }
 
 // NewConversation starts a dialogue session.
@@ -200,39 +272,51 @@ func (e *Engine) NewConversation() *Conversation {
 }
 
 // Reset clears the conversational context.
-func (c *Conversation) Reset() { c.s.Reset() }
+func (c *Conversation) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Reset()
+}
 
 // Context exposes the current context query (nil when fresh).
-func (c *Conversation) Context() *iql.Query { return c.s.Context() }
+func (c *Conversation) Context() *iql.Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Context()
+}
 
 // Ask interprets one utterance against the conversation context and
-// executes it. The returned Answer notes whether context was used.
+// executes it. The returned Answer notes whether context was used, and
+// carries the same corrections and per-stage timings a single-shot
+// Engine.Ask reports: corrected tokens flow into the dialogue parser
+// directly (no lossy string round-trip) and each stage is timed.
 func (c *Conversation) Ask(question string) (*Answer, bool, error) {
-	toks := strutil.Tokenize(question)
-	if c.e.opts.SpellMaxDist > 0 {
-		toks, _ = c.e.Idx.Correct(toks, c.e.opts.SpellMaxDist)
-	}
-	turn, err := c.s.Ask(strutil.Join(toks))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := time.Now()
+
+	toks, fixes, correct := c.e.correctTokens(question)
+	turn, err := c.s.AskTokens(toks)
 	if err != nil {
 		return nil, false, err
 	}
-	ans := &Answer{Question: question, Ranked: turn.Ranked, Query: turn.Query}
+	tm := Timings{Correct: correct, Annotate: turn.Annotate, Parse: turn.Parse, Rank: turn.Rank}
+	ans := &Answer{Question: question, Corrections: fixes, Ranked: turn.Ranked, Query: turn.Query}
+
+	start := time.Now()
 	stmt, err := iql.ToSQL(turn.Query, c.e.DB.Schema)
+	tm.Generate = time.Since(start)
 	if err != nil {
+		ans.Timings = tm
 		return ans, turn.FollowUp, err
 	}
 	ans.SQL = stmt
-	p, err := exec.BuildPlan(c.e.DB, stmt)
-	if err != nil {
+
+	if err := c.e.execute(ans, stmt, &tm); err != nil {
+		ans.Timings = tm
 		return ans, turn.FollowUp, err
 	}
-	ans.Plan = p
-	res, err := exec.Run(c.e.DB, p)
-	if err != nil {
-		return ans, turn.FollowUp, err
-	}
-	ans.Result = res
-	ans.Paraphrase = nlg.Paraphrase(turn.Query, c.e.DB.Schema)
-	ans.Response = nlg.Respond(turn.Query, res, c.e.DB.Schema)
+	tm.Total = time.Since(total)
+	ans.Timings = tm
 	return ans, turn.FollowUp, nil
 }

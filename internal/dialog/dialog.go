@@ -8,6 +8,7 @@ package dialog
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/grammar"
 	"repro/internal/interp"
@@ -16,11 +17,18 @@ import (
 	"repro/internal/strutil"
 )
 
-// Turn is the interpretation of one user utterance.
+// Turn is the interpretation of one user utterance, with the stage
+// latencies the conversational answer reports (fragment turns fold the
+// update-parse into Parse, and Rank accumulates over both readings
+// when the full-question attempt fails).
 type Turn struct {
 	Query    *iql.Query
 	Ranked   []interp.Scored
 	FollowUp bool // true when the turn was resolved against context
+
+	Annotate time.Duration // span annotation of the full-question attempt
+	Parse    time.Duration // full parse, plus fragment parse on follow-ups
+	Rank     time.Duration // interpretation ranking
 }
 
 // Session is one conversation.
@@ -51,23 +59,49 @@ func (s *Session) Reset() { s.prev = nil }
 // fragments refine it. An error is returned when neither reading
 // produces a connected interpretation.
 func (s *Session) Ask(question string) (*Turn, error) {
-	toks := strutil.Tokenize(question)
+	return s.AskTokens(strutil.Tokenize(question))
+}
 
-	full := s.g.Parse(toks)
-	if ranked := interp.Rank(full, s.schema, s.weights); len(ranked) > 0 {
+// AskTokens is Ask over pre-tokenized input — the entry point the
+// engine uses so spelling-corrected tokens reach the parser directly
+// instead of round-tripping through a string (which is lossy for
+// values containing punctuation).
+func (s *Session) AskTokens(toks []strutil.Token) (*Turn, error) {
+	turn := &Turn{}
+
+	start := time.Now()
+	prepared := s.g.Prepare(toks)
+	turn.Annotate = time.Since(start)
+
+	start = time.Now()
+	full := s.g.ParsePrepared(prepared)
+	turn.Parse = time.Since(start)
+
+	start = time.Now()
+	ranked := interp.Rank(full, s.schema, s.weights)
+	turn.Rank = time.Since(start)
+	if len(ranked) > 0 {
 		s.prev = ranked[0].Query
 		s.turns++
-		return &Turn{Query: ranked[0].Query, Ranked: ranked, FollowUp: false}, nil
+		turn.Query, turn.Ranked = ranked[0].Query, ranked
+		return turn, nil
 	}
 
 	if s.prev != nil {
+		start = time.Now()
 		upd := s.g.ParseUpdate(toks, s.prev)
-		if ranked := interp.Rank(upd, s.schema, s.weights); len(ranked) > 0 {
+		turn.Parse += time.Since(start)
+
+		start = time.Now()
+		ranked := interp.Rank(upd, s.schema, s.weights)
+		turn.Rank += time.Since(start)
+		if len(ranked) > 0 {
 			s.prev = ranked[0].Query
 			s.turns++
-			return &Turn{Query: ranked[0].Query, Ranked: ranked, FollowUp: true}, nil
+			turn.Query, turn.Ranked, turn.FollowUp = ranked[0].Query, ranked, true
+			return turn, nil
 		}
-		return nil, fmt.Errorf("dialog: could not relate %q to the current context", question)
+		return nil, fmt.Errorf("dialog: could not relate %q to the current context", strutil.Join(toks))
 	}
-	return nil, fmt.Errorf("dialog: could not interpret %q", question)
+	return nil, fmt.Errorf("dialog: could not interpret %q", strutil.Join(toks))
 }

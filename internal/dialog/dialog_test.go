@@ -9,6 +9,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/iql"
 	"repro/internal/semindex"
+	"repro/internal/strutil"
 )
 
 func uniSession(t testing.TB) *Session {
@@ -275,5 +276,37 @@ func TestRollupFollowUp(t *testing.T) {
 	// Rolling up an ungrouped query fails.
 	if _, err := s.Ask("roll up"); err == nil {
 		t.Error("rollup without grouping should fail")
+	}
+}
+
+// TestAskTokensPreservesTokens: the token-level entry point must feed
+// the parser the exact tokens it was given — no string round-trip that
+// could corrupt punctuation inside quoted values — and report stage
+// timings.
+func TestAskTokensPreservesTokens(t *testing.T) {
+	s := uniSession(t)
+	toks := strutil.Tokenize("students in Computer Science")
+	turn, err := s.AskTokens(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Query == nil || turn.FollowUp {
+		t.Fatalf("turn = %+v", turn)
+	}
+	if turn.Annotate < 0 || turn.Parse <= 0 {
+		t.Errorf("stage timings not populated: %+v", turn)
+	}
+
+	// A follow-up fragment through the same entry point accumulates
+	// parse time over both readings and resolves against context.
+	frag, err := s.AskTokens(strutil.Tokenize("only those with gpa over 3.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frag.FollowUp {
+		t.Error("fragment should resolve against context")
+	}
+	if frag.Parse <= 0 || frag.Rank <= 0 {
+		t.Errorf("fragment timings not populated: %+v", frag)
 	}
 }

@@ -286,14 +286,19 @@ func (ex *executor) runSubquery(sub *sql.SelectStmt, f *plan.Frame) (*Result, er
 		return ex.selectStmt(sub, f)
 	}
 	key := subKey{stmt: sub, correlated: false}
-	if cached, ok := ex.subCache[key]; ok {
+	ex.mu.Lock()
+	cached, ok := ex.subCache[key]
+	ex.mu.Unlock()
+	if ok {
 		return cached, nil
 	}
 	res, err := ex.selectStmt(sub, nil)
 	if err != nil {
 		return nil, err
 	}
+	ex.mu.Lock()
 	ex.subCache[key] = res
+	ex.mu.Unlock()
 	return res, nil
 }
 
@@ -310,7 +315,10 @@ func (ex *executor) correlated(sub *sql.SelectStmt, f *plan.Frame) bool {
 	if f == nil {
 		return false
 	}
-	if v, ok := ex.corrCache[sub]; ok {
+	ex.mu.Lock()
+	v, ok := ex.corrCache[sub]
+	ex.mu.Unlock()
+	if ok {
 		return v
 	}
 	outerNames := map[string]bool{}
@@ -422,8 +430,10 @@ func (ex *executor) correlated(sub *sql.SelectStmt, f *plan.Frame) bool {
 		}
 		return corr
 	}
-	v := stmtCorrelated(sub, nil)
+	v = stmtCorrelated(sub, nil)
+	ex.mu.Lock()
 	ex.corrCache[sub] = v
+	ex.mu.Unlock()
 	return v
 }
 

@@ -18,6 +18,8 @@
 package exec
 
 import (
+	"sync"
+
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/store"
@@ -29,9 +31,23 @@ type Result struct {
 	Rows []store.Row
 }
 
-// Query evaluates stmt against db through the planning layer.
+// Query evaluates stmt against db through the planning layer,
+// serially — the reproducible single-worker path every differential
+// baseline compares against.
 func Query(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
 	p, err := plan.Compile(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, p)
+}
+
+// QueryParallel evaluates stmt with intra-query parallelism at degree
+// par; par <= 1 is exactly Query. Results are row-for-row identical to
+// the serial path (the exchange operator merges worker outputs in
+// morsel order).
+func QueryParallel(db *store.DB, stmt *sql.SelectStmt, par int) (*Result, error) {
+	p, err := BuildPlanParallel(db, stmt, par)
 	if err != nil {
 		return nil, err
 	}
@@ -43,6 +59,17 @@ func Query(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
 // chosen plan in answers.
 func BuildPlan(db *store.DB, stmt *sql.SelectStmt) (*plan.Plan, error) {
 	return plan.Compile(db, stmt)
+}
+
+// BuildPlanParallel compiles stmt and rewrites the plan for intra-query
+// parallelism at degree par (see plan.Parallelize for when the rewrite
+// declines).
+func BuildPlanParallel(db *store.DB, stmt *sql.SelectStmt, par int) (*plan.Plan, error) {
+	p, err := plan.Compile(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Parallelize(p, par), nil
 }
 
 // Run executes a compiled plan.
@@ -64,9 +91,14 @@ type subKey struct {
 
 // executor evaluates expressions for plan iterators and runs nested
 // subqueries, memoizing uncorrelated subquery results and compiled
-// subquery plans.
+// subquery plans. Parallel plans call Eval/EvalGroup from multiple
+// exchange workers at once, so every cache access takes mu; the cached
+// values themselves are immutable once published. Two workers racing
+// on the same cold entry may both compute it — the duplicated work is
+// bounded and both insert identical results.
 type executor struct {
 	db        *store.DB
+	mu        sync.Mutex
 	subCache  map[subKey]*Result
 	planCache map[*sql.SelectStmt]*plan.Plan
 	corrCache map[*sql.SelectStmt]bool // memoized correlation verdicts
@@ -93,18 +125,24 @@ func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
 // selectStmt executes a (sub)query, compiling and caching its plan.
 // Plans depend only on the statement and the database, never on the
 // outer row, so correlated subqueries recompile nothing per row.
+// Subquery plans are never parallelized: the top-level exchange
+// already saturates the worker budget.
 func (ex *executor) selectStmt(stmt *sql.SelectStmt, parent *plan.Frame) (*Result, error) {
 	if ex.reference {
 		return ex.referenceSelect(stmt, parent)
 	}
+	ex.mu.Lock()
 	p, ok := ex.planCache[stmt]
+	ex.mu.Unlock()
 	if !ok {
 		var err error
 		p, err = plan.Compile(ex.db, stmt)
 		if err != nil {
 			return nil, err
 		}
+		ex.mu.Lock()
 		ex.planCache[stmt] = p
+		ex.mu.Unlock()
 	}
 	return ex.run(p, parent)
 }

@@ -231,8 +231,7 @@ func Respond(q *iql.Query, res *exec.Result, s *schema.Schema) string {
 	}
 	ent := entityNoun(q.Entity)
 	if len(q.GroupBy) > 0 {
-		return fmt.Sprintf("Here is the breakdown by %s (%d groups).",
-			colPhrase(q.GroupBy[0]), len(res.Rows))
+		return respondGroups(q, res)
 	}
 	// Scalar answers: one row, one column.
 	if len(res.Rows) == 1 && len(res.Cols) == 1 {
@@ -264,4 +263,41 @@ func Respond(q *iql.Query, res *exec.Result, s *schema.Schema) string {
 		sentence += fmt.Sprintf(", and %d more", len(res.Rows)-maxListed)
 	}
 	return sentence + "."
+}
+
+// respondGroups verbalizes a GROUP BY result with its values, like the
+// scalar and list responses do: the group label is the first group key
+// (SQL generation projects explicit group keys first), the value is
+// the first aggregate output, and groups beyond the listing cap are
+// summarized.
+func respondGroups(q *iql.Query, res *exec.Result) string {
+	head := fmt.Sprintf("Here is the breakdown by %s (%d groups)",
+		colPhrase(q.GroupBy[0]), len(res.Rows))
+	if len(res.Rows) == 0 {
+		return head + "."
+	}
+	// Row layout: group keys first, then the outputs in order.
+	value := -1
+	for i, o := range q.Outputs {
+		if o.CountStar || o.Agg != lexicon.NoAgg {
+			value = len(q.GroupBy) + i
+			break
+		}
+	}
+	var parts []string
+	for i, row := range res.Rows {
+		if i == maxListed {
+			break
+		}
+		if value >= 0 && value < len(row) {
+			parts = append(parts, fmt.Sprintf("%s: %s", row[0], row[value]))
+		} else {
+			parts = append(parts, row[0].String())
+		}
+	}
+	s := head + ": " + strings.Join(parts, ", ")
+	if len(res.Rows) > maxListed {
+		s += fmt.Sprintf(", and %d more", len(res.Rows)-maxListed)
+	}
+	return s + "."
 }

@@ -177,3 +177,42 @@ func TestRespondSingleCellNonAggregate(t *testing.T) {
 		t.Errorf("respond = %q", r)
 	}
 }
+
+// TestRespondGroups: GROUP BY answers must verbalize the top groups
+// with their values, not just the group count.
+func TestRespondGroups(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "departments",
+		Outputs: []iql.Output{{CountStar: true}},
+		GroupBy: []iql.FieldRef{field("departments", "name")}}
+	res := &exec.Result{Cols: []string{"name", "COUNT(*)"}, Rows: []store.Row{
+		{store.Text("Biology"), store.Int(4)},
+		{store.Text("History"), store.Int(7)},
+	}}
+	r := Respond(q, res, s)
+	if !strings.Contains(r, "2 groups") {
+		t.Errorf("respond = %q", r)
+	}
+	if !strings.Contains(r, "Biology: 4") || !strings.Contains(r, "History: 7") {
+		t.Errorf("group values missing from %q", r)
+	}
+}
+
+// TestRespondGroupsTruncates caps the enumerated groups.
+func TestRespondGroupsTruncates(t *testing.T) {
+	s := dataset.UniversitySchema()
+	q := &iql.Query{Entity: "students",
+		Outputs: []iql.Output{{Agg: lexicon.Avg, Field: field("students", "gpa")}},
+		GroupBy: []iql.FieldRef{field("students", "year")}}
+	var rows []store.Row
+	for i := 0; i < 14; i++ {
+		rows = append(rows, store.Row{store.Int(int64(i)), store.Float(3.0)})
+	}
+	r := Respond(q, &exec.Result{Cols: []string{"year", "AVG"}, Rows: rows}, s)
+	if !strings.Contains(r, "and 4 more") {
+		t.Errorf("respond = %q", r)
+	}
+	if !strings.Contains(r, "0: 3") {
+		t.Errorf("group value pair missing from %q", r)
+	}
+}

@@ -13,11 +13,17 @@ import (
 const MaxProduct = 5_000_000
 
 // Ctx carries everything an executing plan needs: the database, the
-// expression evaluator, and the correlation parent for subquery plans.
+// expression evaluator, the correlation parent for subquery plans, and
+// the parallel-execution state of the current run. When Par > 1 the
+// Evaluator must be safe for concurrent use.
 type Ctx struct {
 	DB     *store.DB
 	Ev     Evaluator
 	Parent *Frame
+	Par    int // worker budget; <= 1 executes serially
+
+	part   *morselRun   // set inside an Exchange worker: the leaf's morsel
+	shared *sharedState // per-run state shared across Exchange workers
 }
 
 // iter is a Volcano-style pull iterator: (nil, nil) signals exhaustion.
@@ -26,9 +32,17 @@ type iter func() (store.Row, error)
 // Run executes a compiled plan and materializes the output rows. The
 // pipeline itself streams: scans, filters, hash-join probes, projection
 // and LIMIT all process one row at a time, so a LIMIT without ORDER BY
-// stops reading its inputs early; only sorts, aggregate partitions and
-// join build sides buffer.
+// stops reading its inputs early; only sorts, aggregate partitions,
+// join build sides and exchange merges buffer. A plan rewritten by
+// Parallelize carries its worker degree, picked up here unless the
+// caller pinned ctx.Par explicitly.
 func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
+	if ctx.Par == 0 {
+		ctx.Par = p.Par
+	}
+	if ctx.Par > 1 && ctx.shared == nil {
+		ctx.shared = &sharedState{}
+	}
 	it, err := p.Root.open(ctx)
 	if err != nil {
 		return nil, err
@@ -46,19 +60,28 @@ func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
 	}
 }
 
+func errUnknownTable(name string) error {
+	return fmt.Errorf("plan: unknown table %q", name)
+}
+
 func (s *Scan) open(ctx *Ctx) (iter, error) {
+	if mr := ctx.part; mr != nil && mr.node == Node(s) {
+		return projectRows(mr.rows, s.B), nil
+	}
 	tab := ctx.DB.Table(s.B.Meta.Name)
 	if tab == nil {
-		return nil, fmt.Errorf("plan: unknown table %q", s.B.Meta.Name)
+		return nil, errUnknownTable(s.B.Meta.Name)
 	}
 	rows := tab.Rows()
 	return projectRows(rows, s.B), nil
 }
 
-func (s *IndexScan) open(ctx *Ctx) (iter, error) {
+// lookupRows resolves the index probe or range into the matching
+// (unprojected) rows.
+func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
 	tab := ctx.DB.Table(s.B.Meta.Name)
 	if tab == nil {
-		return nil, fmt.Errorf("plan: unknown table %q", s.B.Meta.Name)
+		return nil, errUnknownTable(s.B.Meta.Name)
 	}
 	var ids []int
 	var ok bool
@@ -74,6 +97,17 @@ func (s *IndexScan) open(ctx *Ctx) (iter, error) {
 	rows := make([]store.Row, len(ids))
 	for i, id := range ids {
 		rows[i] = tab.Row(id)
+	}
+	return rows, nil
+}
+
+func (s *IndexScan) open(ctx *Ctx) (iter, error) {
+	if mr := ctx.part; mr != nil && mr.node == Node(s) {
+		return projectRows(mr.rows, s.B), nil
+	}
+	rows, err := s.lookupRows(ctx)
+	if err != nil {
+		return nil, err
 	}
 	return projectRows(rows, s.B), nil
 }
@@ -124,24 +158,42 @@ func (f *Filter) open(ctx *Ctx) (iter, error) {
 	}, nil
 }
 
-func (j *HashJoin) open(ctx *Ctx) (iter, error) {
-	// Build side: materialize and hash the right input.
-	rit, err := j.R.open(ctx)
+// buildTable materializes and hashes the join's right input. Inside a
+// parallel run the table is built exactly once (the first worker to
+// arrive builds, the rest wait on the entry's once) and then probed
+// concurrently; large build inputs hash through per-worker partial
+// tables merged in chunk order, so the per-key row order — and with it
+// the probe output order — is identical to a serial build.
+func (j *HashJoin) buildTable(ctx *Ctx) (map[string][]store.Row, error) {
+	if ctx.shared == nil {
+		return j.build(ctx)
+	}
+	e := ctx.shared.entry(j)
+	e.once.Do(func() { e.table, e.err = j.build(ctx) })
+	return e.table, e.err
+}
+
+func (j *HashJoin) build(ctx *Ctx) (map[string][]store.Row, error) {
+	rows, err := drain(j.R, ctx)
 	if err != nil {
 		return nil, err
 	}
+	if ctx.Par > 1 && len(rows) >= minParallelRows {
+		return parallelHash(rows, j.RKey, ctx.Par), nil
+	}
 	table := map[string][]store.Row{}
-	for {
-		r, err := rit()
-		if err != nil {
-			return nil, err
-		}
-		if r == nil {
-			break
-		}
+	for _, r := range rows {
 		if k, ok := joinKey(r, j.RKey); ok {
 			table[k] = append(table[k], r)
 		}
+	}
+	return table, nil
+}
+
+func (j *HashJoin) open(ctx *Ctx) (iter, error) {
+	table, err := j.buildTable(ctx)
+	if err != nil {
+		return nil, err
 	}
 	// Probe side streams.
 	lit, err := j.L.open(ctx)
@@ -273,6 +325,48 @@ func (p *Project) open(ctx *Ctx) (iter, error) {
 	}, nil
 }
 
+// groupKey evaluates the GROUP BY expressions over the frame's row
+// into the composite partition key.
+func (a *Aggregate) groupKey(ctx *Ctx, frame *Frame) (string, error) {
+	var key strings.Builder
+	for _, ge := range a.GroupBy {
+		v, err := ctx.Ev.Eval(frame, ge)
+		if err != nil {
+			return "", err
+		}
+		key.WriteString(v.Key())
+		key.WriteByte('\x1f')
+	}
+	return key.String(), nil
+}
+
+// evalGroup applies HAVING and evaluates the output items (plus
+// trailing sort keys) for one group; keep is false when HAVING
+// rejected it.
+func (a *Aggregate) evalGroup(ctx *Ctx, g *Group) (row store.Row, keep bool, err error) {
+	if a.Having != nil {
+		v, err := ctx.Ev.EvalGroup(g, a.Having)
+		if err != nil {
+			return nil, false, err
+		}
+		if !IsTrue(v) {
+			return nil, false, nil
+		}
+	}
+	out := make(store.Row, len(a.Items)+len(a.SortKeys))
+	for i, e := range a.Items {
+		if out[i], err = ctx.Ev.EvalGroup(g, e); err != nil {
+			return nil, false, err
+		}
+	}
+	for i, e := range a.SortKeys {
+		if out[len(a.Items)+i], err = ctx.Ev.EvalGroup(g, e); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
 func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 	rel := a.In.Rel()
 	input, err := drain(a.In, ctx)
@@ -281,25 +375,24 @@ func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 	}
 
 	var groups []*Group
-	if len(a.GroupBy) == 0 {
+	switch {
+	case len(a.GroupBy) == 0:
 		// The global group exists even over empty input.
 		groups = []*Group{{Rel: rel, Rows: input, Parent: ctx.Parent}}
-	} else {
+	case ctx.Par > 1 && len(input) >= minParallelRows:
+		if groups, err = a.parallelGroups(ctx, rel, input, ctx.Par); err != nil {
+			return nil, err
+		}
+	default:
 		frame := &Frame{Rel: rel, Parent: ctx.Parent}
 		byKey := map[string]*Group{}
 		var order []string
 		for _, r := range input {
 			frame.Row = r
-			var key strings.Builder
-			for _, ge := range a.GroupBy {
-				v, err := ctx.Ev.Eval(frame, ge)
-				if err != nil {
-					return nil, err
-				}
-				key.WriteString(v.Key())
-				key.WriteByte('\x1f')
+			k, err := a.groupKey(ctx, frame)
+			if err != nil {
+				return nil, err
 			}
-			k := key.String()
 			g, ok := byKey[k]
 			if !ok {
 				g = &Group{Rel: rel, Parent: ctx.Parent}
@@ -313,7 +406,22 @@ func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 		}
 	}
 
-	n := len(a.Items) + len(a.SortKeys)
+	if ctx.Par > 1 && len(groups) >= minParallelGroups {
+		rows, err := a.evalGroups(ctx, groups, ctx.Par)
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		return func() (store.Row, error) {
+			if i >= len(rows) {
+				return nil, nil
+			}
+			r := rows[i]
+			i++
+			return r, nil
+		}, nil
+	}
+
 	gi := 0
 	return func() (store.Row, error) {
 		for {
@@ -322,31 +430,13 @@ func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 			}
 			g := groups[gi]
 			gi++
-			if a.Having != nil {
-				v, err := ctx.Ev.EvalGroup(g, a.Having)
-				if err != nil {
-					return nil, err
-				}
-				if !IsTrue(v) {
-					continue
-				}
+			row, keep, err := a.evalGroup(ctx, g)
+			if err != nil {
+				return nil, err
 			}
-			out := make(store.Row, n)
-			for i, e := range a.Items {
-				v, err := ctx.Ev.EvalGroup(g, e)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = v
+			if keep {
+				return row, nil
 			}
-			for i, e := range a.SortKeys {
-				v, err := ctx.Ev.EvalGroup(g, e)
-				if err != nil {
-					return nil, err
-				}
-				out[len(a.Items)+i] = v
-			}
-			return out, nil
 		}
 	}, nil
 }

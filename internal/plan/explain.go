@@ -12,22 +12,44 @@ import (
 // console's :explain command and the planner's golden tests.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	explainNode(&b, p.Root, "", "")
+	explainNode(&b, p.Root, "", "", 0)
 	return strings.TrimRight(b.String(), "\n")
 }
 
-func explainNode(b *strings.Builder, n Node, prefix, childPrefix string) {
+// explainNode renders one operator line. par is the degree of
+// parallelism the node executes under (0 outside any exchange): every
+// node below an Exchange is annotated with the worker count driving it.
+func explainNode(b *strings.Builder, n Node, prefix, childPrefix string, par int) {
 	b.WriteString(prefix)
 	b.WriteString(n.describe())
+	if par > 1 {
+		fmt.Fprintf(b, " [par=%d]", par)
+	}
 	b.WriteByte('\n')
+	childPar := par
+	if x, ok := n.(*Exchange); ok {
+		childPar = x.Workers
+	}
 	children := n.Children()
 	for i, c := range children {
 		if i == len(children)-1 {
-			explainNode(b, c, childPrefix+"└─ ", childPrefix+"   ")
+			explainNode(b, c, childPrefix+"└─ ", childPrefix+"   ", childPar)
 		} else {
-			explainNode(b, c, childPrefix+"├─ ", childPrefix+"│  ")
+			explainNode(b, c, childPrefix+"├─ ", childPrefix+"│  ", childPar)
 		}
 	}
+}
+
+func (e *Exchange) describe() string {
+	name := "?"
+	switch t := e.part.(type) {
+	case *Scan:
+		name = bindingName(t.B)
+	case *IndexScan:
+		name = bindingName(t.B)
+	}
+	return fmt.Sprintf("exchange workers=%d (morsels over %s, order-preserving merge)",
+		e.Workers, name)
 }
 
 func (s *Scan) describe() string {

@@ -1,0 +1,437 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// minParallelRows is the smallest estimated operator cardinality
+// anywhere in the pipeline for which inserting an Exchange pays for
+// its worker pool and merge; cheaper pipelines run serially.
+const minParallelRows = 256
+
+// minParallelGroups is the smallest group count for which fanning
+// group evaluation (HAVING + aggregate items) across workers pays.
+const minParallelGroups = 8
+
+// minChunkRows is the smallest chunk a materialized row set is split
+// into for parallel hashing and grouping.
+const minChunkRows = 128
+
+// Exchange runs its subtree on a bounded pool of Workers goroutines.
+// Each worker repeatedly claims a morsel (a contiguous row range) of
+// the partitioned leaf scan, runs its own copy of the subtree's
+// iterators over just that morsel, and deposits the output rows into a
+// per-morsel slot. The merged stream concatenates the slots in morsel
+// order, so parallel execution is row-for-row identical to the serial
+// plan. Build sides of hash joins inside the subtree are built once
+// and shared read-only across workers (see HashJoin.buildTable).
+type Exchange struct {
+	In      Node
+	Workers int
+	part    Node // the Scan/IndexScan whose rows are split into morsels
+}
+
+func (e *Exchange) Rel() *Rel        { return e.In.Rel() }
+func (e *Exchange) Children() []Node { return []Node{e.In} }
+
+// Parallelize rewrites a compiled plan for intra-query parallelism at
+// degree par: it inserts an Exchange over the streaming pipeline
+// segment (the operators between the projection boundary and the
+// leaves) partitioned on the probe-side leftmost base scan, and marks
+// the plan so Run sizes its worker pool. par <= 1, tiny inputs, and
+// plans whose LIMIT streams without a Sort (where early exit beats
+// parallel materialization) are returned unchanged — ablation runs
+// with Parallelism 1 therefore execute exactly today's serial plans.
+func Parallelize(p *Plan, par int) *Plan {
+	if par <= 1 || p.Par > 1 {
+		return p
+	}
+
+	// Walk from the root down to the projection boundary, remembering
+	// how to splice the rewritten subtree back in.
+	var attach func(Node)
+	node := p.Root
+	attach = func(n Node) { p.Root = n }
+	hasLimit, hasSort := false, false
+walk:
+	for {
+		switch n := node.(type) {
+		case *Limit:
+			hasLimit = true
+			node, attach = n.In, func(c Node) { n.In = c }
+		case *Sort:
+			hasSort = true
+			node, attach = n.In, func(c Node) { n.In = c }
+		case *Distinct:
+			node, attach = n.In, func(c Node) { n.In = c }
+		default:
+			break walk
+		}
+	}
+
+	switch n := node.(type) {
+	case *Aggregate:
+		// The exchange goes below the aggregate (a pipeline breaker
+		// regardless of LIMIT): morsels produce partial row streams,
+		// the aggregate itself parallelizes its grouping and group
+		// evaluation with per-worker partial states.
+		if pipelineWork(n.In) >= minParallelRows {
+			if leaf := partitionLeaf(n.In); leaf != nil {
+				n.In = &Exchange{In: n.In, Workers: par, part: leaf}
+				p.Par = par
+			}
+		}
+	case *Project:
+		if hasLimit && !hasSort {
+			// Rows stream from the scan straight to the LIMIT, which
+			// stops reading early; materializing every worker's output
+			// first would do strictly more work.
+			return p
+		}
+		// The exchange goes above the projection so item evaluation
+		// parallelizes too; output rows merge in morsel order.
+		if pipelineWork(n.In) >= minParallelRows {
+			if leaf := partitionLeaf(n.In); leaf != nil {
+				attach(&Exchange{In: n, Workers: par, part: leaf})
+				p.Par = par
+			}
+		}
+	}
+	return p
+}
+
+// pipelineWork is the largest estimated operator cardinality in the
+// pipeline subtree — the gate for whether a worker pool pays. The
+// probe-side leaf alone understates work badly: the cost-based join
+// order deliberately starts left-deep trees from the smallest input,
+// so a 24-row scan can drive joins over thousands of build rows.
+func pipelineWork(n Node) int {
+	work := 0
+	Walk(n, func(c Node) {
+		est := 0
+		switch t := c.(type) {
+		case *Scan:
+			est = t.Est
+		case *IndexScan:
+			est = t.Est
+		case *Filter:
+			est = t.Est
+		case *HashJoin:
+			est = t.Est
+		case *CrossJoin:
+			est = t.Est
+		}
+		if est > work {
+			work = est
+		}
+	})
+	return work
+}
+
+// partitionLeaf descends the probe side of the pipeline (left children
+// of joins) to the base scan whose rows will be morsel-partitioned.
+// Morsel sizing adapts to the leaf, so even a small probe leaf fans
+// its (potentially expensive) downstream work across the pool.
+func partitionLeaf(n Node) Node {
+	switch t := n.(type) {
+	case *Scan:
+		return t
+	case *IndexScan:
+		return t
+	case *Filter:
+		return partitionLeaf(t.In)
+	case *HashJoin:
+		return partitionLeaf(t.L)
+	case *CrossJoin:
+		return partitionLeaf(t.L)
+	}
+	return nil
+}
+
+// baseRows materializes the unprojected row set of the partitioned
+// leaf: the full table for a Scan, the index-selected rows for an
+// IndexScan.
+func baseRows(n Node, ctx *Ctx) ([]store.Row, Binding, error) {
+	switch s := n.(type) {
+	case *Scan:
+		tab := ctx.DB.Table(s.B.Meta.Name)
+		if tab == nil {
+			return nil, Binding{}, errUnknownTable(s.B.Meta.Name)
+		}
+		return tab.Rows(), s.B, nil
+	case *IndexScan:
+		rows, err := s.lookupRows(ctx)
+		return rows, s.B, err
+	}
+	return nil, Binding{}, errUnknownTable("<not a leaf>")
+}
+
+// morselRun tells a leaf scan inside a worker which slice of its base
+// rows to produce instead of the full table.
+type morselRun struct {
+	node Node // identity of the partitioned leaf
+	rows []store.Row
+}
+
+func (e *Exchange) open(ctx *Ctx) (iter, error) {
+	// ctx.Par caps the plan's worker degree; an explicit Par of 1
+	// (e.g. a caller whose Evaluator is not thread-safe) degrades the
+	// exchange to a serial passthrough.
+	workers := e.Workers
+	if ctx.Par > 0 && ctx.Par < workers {
+		workers = ctx.Par
+	}
+	rows, _, err := baseRows(e.part, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		return e.In.open(ctx)
+	}
+
+	// Morsels adapt to the leaf: ~4 per worker for stealing slack, but
+	// never more — a small probe leaf driving heavy joins still splits,
+	// its downstream cost dwarfs the per-morsel iterator setup.
+	morsel := (len(rows) + workers*4 - 1) / (workers * 4)
+	nm := (len(rows) + morsel - 1) / morsel
+
+	outs := make([][]store.Row, nm)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nm || failed.Load() {
+					return
+				}
+				lo, hi := m*morsel, (m+1)*morsel
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				wctx := *ctx
+				wctx.part = &morselRun{node: e.part, rows: rows[lo:hi]}
+				out, err := drain(e.In, &wctx)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				outs[m] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	mi, ri := 0, 0
+	return func() (store.Row, error) {
+		for mi < len(outs) {
+			if ri < len(outs[mi]) {
+				r := outs[mi][ri]
+				ri++
+				return r, nil
+			}
+			mi++
+			ri = 0
+		}
+		return nil, nil
+	}, nil
+}
+
+// sharedState carries per-execution state shared by the workers of
+// every Exchange in the plan: hash-join build sides are computed once
+// and probed concurrently.
+type sharedState struct {
+	mu     sync.Mutex
+	builds map[*HashJoin]*buildEntry
+}
+
+type buildEntry struct {
+	once  sync.Once
+	table map[string][]store.Row
+	err   error
+}
+
+func (s *sharedState) entry(j *HashJoin) *buildEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.builds == nil {
+		s.builds = map[*HashJoin]*buildEntry{}
+	}
+	e, ok := s.builds[j]
+	if !ok {
+		e = &buildEntry{}
+		s.builds[j] = e
+	}
+	return e
+}
+
+// parallelHash builds the join hash table from already-materialized
+// build rows using per-worker partial tables merged in chunk order, so
+// the per-key row order matches a serial build exactly.
+func parallelHash(rows []store.Row, key []int, par int) map[string][]store.Row {
+	chunk := (len(rows) + par - 1) / par
+	if chunk < minChunkRows {
+		chunk = minChunkRows
+	}
+	nc := (len(rows) + chunk - 1) / chunk
+	partials := make([]map[string][]store.Row, nc)
+	var wg sync.WaitGroup
+	for c := 0; c < nc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			part := map[string][]store.Row{}
+			for _, r := range rows[lo:hi] {
+				if k, ok := joinKey(r, key); ok {
+					part[k] = append(part[k], r)
+				}
+			}
+			partials[c] = part
+		}(c)
+	}
+	wg.Wait()
+	if nc == 1 {
+		return partials[0]
+	}
+	table := map[string][]store.Row{}
+	for _, part := range partials {
+		for k, rs := range part {
+			table[k] = append(table[k], rs...)
+		}
+	}
+	return table
+}
+
+// parallelGroups partitions input rows into GROUP BY groups using
+// per-worker partial group maps merged in chunk order: group discovery
+// order and the row order inside every group match the serial
+// partitioning exactly.
+func (a *Aggregate) parallelGroups(ctx *Ctx, rel *Rel, input []store.Row, par int) ([]*Group, error) {
+	type partial struct {
+		byKey map[string]*Group
+		order []string
+	}
+	chunk := (len(input) + par - 1) / par
+	if chunk < minChunkRows {
+		chunk = minChunkRows
+	}
+	nc := (len(input) + chunk - 1) / chunk
+	partials := make([]partial, nc)
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	for c := 0; c < nc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > len(input) {
+				hi = len(input)
+			}
+			p := partial{byKey: map[string]*Group{}}
+			frame := &Frame{Rel: rel, Parent: ctx.Parent}
+			for _, r := range input[lo:hi] {
+				frame.Row = r
+				k, err := a.groupKey(ctx, frame)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				g, ok := p.byKey[k]
+				if !ok {
+					g = &Group{Rel: rel, Parent: ctx.Parent}
+					p.byKey[k] = g
+					p.order = append(p.order, k)
+				}
+				g.Rows = append(g.Rows, r)
+			}
+			partials[c] = p
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	byKey := map[string]*Group{}
+	var groups []*Group
+	for _, p := range partials {
+		for _, k := range p.order {
+			g, ok := byKey[k]
+			if !ok {
+				byKey[k] = p.byKey[k]
+				groups = append(groups, p.byKey[k])
+				continue
+			}
+			g.Rows = append(g.Rows, p.byKey[k].Rows...)
+		}
+	}
+	return groups, nil
+}
+
+// evalGroups evaluates HAVING and the output items of every group,
+// fanning the independent group evaluations across par workers while
+// keeping group order: slot i of the result belongs to group i, with
+// nil marking a group HAVING filtered out.
+func (a *Aggregate) evalGroups(ctx *Ctx, groups []*Group, par int) ([]store.Row, error) {
+	out := make([]store.Row, len(groups))
+	if par > len(groups) {
+		par = len(groups)
+	}
+	var next atomic.Int64
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				row, keep, err := a.evalGroup(ctx, groups[gi])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if keep {
+					out[gi] = row
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	kept := out[:0]
+	for _, r := range out {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}

@@ -244,10 +244,13 @@ func (s *Sort) Children() []Node      { return []Node{s.In} }
 func (l *Limit) Children() []Node     { return []Node{l.In} }
 
 // Plan is a compiled query: the operator tree plus output column names.
+// Par records the worker degree Parallelize rewrote the tree for
+// (0 or 1 means serial).
 type Plan struct {
 	Root Node
 	Cols []string
 	Stmt *sql.SelectStmt
+	Par  int
 }
 
 // Walk visits every node of the tree in pre-order.
@@ -288,6 +291,8 @@ func (p *Plan) OperatorCounts() map[string]int {
 			counts["sort"]++
 		case *Limit:
 			counts["limit"]++
+		case *Exchange:
+			counts["exchange"]++
 		}
 	})
 	return counts

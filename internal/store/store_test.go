@@ -357,3 +357,27 @@ func BenchmarkIndexLookup(b *testing.B) {
 		tab.LookupIndex("a", Int(int64(i%100000)))
 	}
 }
+
+// TestDataVersion: the version token must move on every mutation, on
+// any table, and stay put across reads — the answer cache's
+// invalidation contract.
+func TestDataVersion(t *testing.T) {
+	db := NewDB(miniSchema(t))
+	v0 := db.DataVersion()
+	if again := db.DataVersion(); again != v0 {
+		t.Errorf("version moved without mutation: %d -> %d", v0, again)
+	}
+	if err := db.Insert("people", Int(1), Text("Ada"), Float(9.5)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := db.DataVersion()
+	if v1 == v0 {
+		t.Error("version unchanged after insert")
+	}
+	if err := db.Insert("pets", Int(1), Text("cat")); err != nil {
+		t.Fatal(err)
+	}
+	if db.DataVersion() == v1 {
+		t.Error("version unchanged after insert into a second table")
+	}
+}

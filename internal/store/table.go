@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
@@ -16,6 +17,7 @@ type Table struct {
 	colIdx  map[string]int
 	hash    map[string]map[string][]int // column -> value key -> row ids
 	ord     map[string][]int            // column -> row ids sorted by value
+	version atomic.Uint64               // bumped per mutation; see DB.DataVersion
 	statsMu sync.Mutex
 	stats   map[string]ColStats // column -> cached statistics; see Stats
 }
@@ -86,6 +88,7 @@ func (t *Table) Insert(vals ...Value) error {
 		t.ord[col] = ids
 	}
 	t.invalidateStats()
+	t.version.Add(1)
 	return nil
 }
 
@@ -223,6 +226,19 @@ func (db *DB) DropAllIndexes() {
 		t.hash = make(map[string]map[string][]int)
 		t.ord = nil
 	}
+}
+
+// DataVersion is a monotonic counter over the database's contents:
+// any row mutation changes it, so equal versions imply equal data.
+// Caches keyed on query inputs (the engine answer cache) use it as
+// their invalidation token. Reads are safe concurrently with queries;
+// mutation remains single-writer by the store's contract.
+func (db *DB) DataVersion() uint64 {
+	var v uint64
+	for _, t := range db.tables {
+		v += t.version.Load()
+	}
+	return v
 }
 
 // TotalRows returns the number of rows across all tables.

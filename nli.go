@@ -33,6 +33,13 @@
 // Everything is pure Go standard library; the three bundled datasets
 // (university, geo, sales) are deterministic, so all results in
 // EXPERIMENTS.md regenerate exactly.
+//
+// A built engine is safe for concurrent Ask calls and is designed to
+// be shared across request handlers: queries execute on a morsel-
+// driven parallel operator pipeline (Options.Parallelism; see
+// DESIGN.md § 2.2) and repeated hot questions are served from a
+// bounded answer cache invalidated on any data change
+// (Options.AnswerCacheSize).
 package nli
 
 import (
@@ -118,10 +125,18 @@ func Datasets() []string { return dataset.Names() }
 // FormatResult renders a result as an aligned text table.
 func FormatResult(r *Result) string { return exec.FormatResult(r) }
 
-// Explain compiles stmt against db and renders the optimized execution
-// plan the engine would run — the console's :explain command.
+// Explain compiles stmt against db and renders the optimized serial
+// execution plan.
 func Explain(db *DB, stmt *sql.SelectStmt) (string, error) {
-	p, err := exec.BuildPlan(db, stmt)
+	return ExplainParallel(db, stmt, 1)
+}
+
+// ExplainParallel renders the plan at the given intra-query
+// parallelism degree — what an engine with Options.Parallelism = par
+// actually executes, exchange operator and per-node worker
+// annotations included. The console's :explain command uses this.
+func ExplainParallel(db *DB, stmt *sql.SelectStmt, par int) (string, error) {
+	p, err := exec.BuildPlanParallel(db, stmt, par)
 	if err != nil {
 		return "", err
 	}
