@@ -41,6 +41,7 @@ func BenchmarkT1Accuracy(b *testing.B) {
 			cases:  bench.Corpus(name),
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range setups {
@@ -58,6 +59,7 @@ func BenchmarkT1Accuracy(b *testing.B) {
 // BenchmarkT2Ablation regenerates the lexicon-ablation table.
 func BenchmarkT2Ablation(b *testing.B) {
 	cases := bench.AllCases()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunAblation(cases); err != nil {
@@ -71,6 +73,7 @@ func BenchmarkT3Ambiguity(b *testing.B) {
 	db := dataset.University(1)
 	e := core.NewEngine(db, core.DefaultOptions())
 	cases := bench.Corpus("university")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := bench.EvaluateAmbiguity(e, db, cases)
@@ -86,6 +89,7 @@ func BenchmarkT3Ambiguity(b *testing.B) {
 // BenchmarkT4Dialogue regenerates the dialogue-resolution table.
 func BenchmarkT4Dialogue(b *testing.B) {
 	cases := bench.DialogueCorpus()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		outcomes, err := bench.EvaluateDialogue(core.DefaultOptions(), cases)
@@ -106,6 +110,7 @@ func BenchmarkT5Typos(b *testing.B) {
 	opts.SpellMaxDist = 2
 	e := core.NewEngine(db, opts)
 	typoed := bench.TypoCases(bench.Corpus("university"), 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Evaluate(e, db, typoed); err != nil {
@@ -124,6 +129,7 @@ func BenchmarkT6Baselines(b *testing.B) {
 		core.NewEngine(db, core.DefaultOptions()),
 	}
 	cases := bench.Corpus("university")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, sys := range systems {
@@ -146,6 +152,7 @@ func BenchmarkF1Stages(b *testing.B) {
 		"students with gpa over 3.5",
 		"average salary of instructors in Computer Science per department",
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if p := bench.Profile(e, questions); p.N != len(questions) {
@@ -163,6 +170,7 @@ func BenchmarkF2Scale(b *testing.B) {
 		scan := dataset.University(scale)
 		scan.DropAllIndexes()
 		b.Run(fmt.Sprintf("rows=%d/indexed", indexed.TotalRows()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Query(indexed, point); err != nil {
 					b.Fatal(err)
@@ -170,6 +178,7 @@ func BenchmarkF2Scale(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("rows=%d/scan", scan.TotalRows()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Query(scan, point); err != nil {
 					b.Fatal(err)
@@ -181,6 +190,7 @@ func BenchmarkF2Scale(b *testing.B) {
 
 // BenchmarkF3Coverage regenerates the grammar coverage curve.
 func BenchmarkF3Coverage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := bench.CoverageCurve()
 		if err != nil {
@@ -221,6 +231,7 @@ func BenchmarkF4JoinPath(b *testing.B) {
 			terms[i] = fmt.Sprintf("t%d", i*2)
 		}
 		b.Run(fmt.Sprintf("terminals=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.JoinPath(terms); err != nil {
 					b.Fatal(err)
@@ -260,6 +271,7 @@ func BenchmarkF5JoinHeavy(b *testing.B) {
 	for _, q := range queries {
 		stmt := sql.MustParse(q.query)
 		b.Run(q.name+"/planned", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Query(db, stmt); err != nil {
 					b.Fatal(err)
@@ -276,6 +288,7 @@ func BenchmarkF5JoinHeavy(b *testing.B) {
 			if got := p.OperatorCounts()["exchange"] > 0; got != q.parallel {
 				b.Fatalf("%s: exchange operator present=%v, want %v", q.name, got, q.parallel)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.QueryParallel(db, stmt, par); err != nil {
@@ -284,6 +297,7 @@ func BenchmarkF5JoinHeavy(b *testing.B) {
 			}
 		})
 		b.Run(q.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.ReferenceQuery(db, stmt); err != nil {
 					b.Fatal(err)
@@ -309,6 +323,7 @@ func BenchmarkF6ParallelSpeedup(b *testing.B) {
 	for _, q := range queries {
 		for _, par := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/par=%d", q.name, par), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := bench.MeasureParallelSpeedup(db, q.name, q.query, par, 3); err != nil {
 						b.Fatal(err)
@@ -319,11 +334,116 @@ func BenchmarkF6ParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkF7VectorizedSpeedup measures batch-at-a-time execution over
+// typed column vectors against the row-at-a-time Volcano iterators on
+// prebuilt plans at dataset scale 4 (figure F7), serial and parallel.
+// Allocations are reported: the vectorized scan→filter→aggregate path
+// must allocate per batch, not per row.
+func BenchmarkF7VectorizedSpeedup(b *testing.B) {
+	db := dataset.University(4)
+	queries := []struct{ name, query string }{
+		{"scanfilteragg", "SELECT AVG(gpa), COUNT(*) FROM students WHERE gpa > 2.5"},
+		{"join4", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"join3agg", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	for _, q := range queries {
+		stmt := sql.MustParse(q.query)
+		for _, degree := range []int{1, par} {
+			p, err := exec.BuildPlanParallel(db, stmt, degree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !p.Vec {
+				b.Fatalf("%s: plan not fully vectorizable", q.name)
+			}
+			suffix := "serial"
+			if degree > 1 {
+				suffix = fmt.Sprintf("par=%d", degree)
+			}
+			b.Run(fmt.Sprintf("%s/vec/%s", q.name, suffix), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.Run(db, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/row/%s", q.name, suffix), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.RunNoVec(db, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAskCachedMixed exercises the engine answer cache at a
+// realistic hit ratio: a small hot set asked over and over, mixed with
+// a long tail of distinct cold questions that overflow the cache —
+// the serving-path profile the pure hot-hit benchmark cannot see.
+// Cache regressions (missed hits, eviction thrash, lock contention)
+// move this number; the reported hit metric pins the ratio.
+func BenchmarkAskCachedMixed(b *testing.B) {
+	opts := DefaultOptions()
+	opts.AnswerCacheSize = 64
+	db, err := Dataset("university", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := New(db, opts)
+	hot := []string{
+		"students with gpa over 3.5",
+		"show all students",
+		"how many students are in Computer Science",
+		"average salary of instructors per department",
+	}
+	cold := make([]string, 256)
+	for i := range cold {
+		// i/100 and i%100 together are unique per i, so all 256
+		// questions are distinct.
+		cold[i] = fmt.Sprintf("students with gpa over %d.%02d", 1+i/100, i%100)
+	}
+	// Warm the hot set.
+	for _, q := range hot {
+		if _, err := eng.Ask(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := hot[i%len(hot)]
+		if i%5 == 4 { // ~80% hot / 20% cold
+			q = cold[(i/5)%len(cold)]
+		}
+		ans, err := eng.Ask(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Cached {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hit-ratio")
+}
+
 // BenchmarkF5PlanShapes measures plan compilation over the full gold
 // corpus and keeps the plan-shape counters wired into `go test -bench`.
 func BenchmarkF5PlanShapes(b *testing.B) {
 	db := dataset.University(1)
 	cases := bench.Corpus("university")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		shape, err := bench.PlanShapes(db, cases)

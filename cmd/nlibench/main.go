@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|all]
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|all]
 package main
 
 import (
@@ -34,9 +34,9 @@ func main() {
 		"T1": expT1, "T2": expT2, "T3": expT3, "T4": expT4,
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
-		"F5": expF5, "F6": expF6,
+		"F5": expF5, "F6": expF6, "F7": expF7,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -451,6 +451,38 @@ func expF6() error {
 				return err
 			}
 			fmt.Printf("%-24s %6d %12s %12s %7.2fx\n", sp.Name, sp.Par, sp.Serial, sp.Parallel, sp.Factor())
+		}
+	}
+	return nil
+}
+
+// expF7 prints the vectorized-execution speedup: batch-at-a-time over
+// typed column vectors versus the row-at-a-time Volcano iterators
+// (both on prebuilt plans) and the materializing reference path,
+// serial and parallel, on scan-, join- and aggregate-heavy queries at
+// scale 4.
+func expF7() error {
+	header("F7", fmt.Sprintf("vectorized speedup vs row-at-a-time (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	db := dataset.University(4)
+	queries := []struct{ name, query string }{
+		{"scan-filter-aggregate", "SELECT AVG(gpa), COUNT(*) FROM students WHERE gpa > 2.5"},
+		{"4-table filtered join", "SELECT s.name, c.title FROM students s, enrollments e, courses c, departments d " +
+			"WHERE e.student_id = s.id AND e.course_id = c.course_id AND c.dept_id = d.dept_id " +
+			"AND d.name = 'Computer Science' AND s.gpa > 3.7"},
+		{"agg over 3-table join", "SELECT d.name, COUNT(*) FROM students s, enrollments e, departments d " +
+			"WHERE e.student_id = s.id AND s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"},
+		{"distinct projection", "SELECT DISTINCT year, dept_id FROM students ORDER BY year, dept_id"},
+	}
+	fmt.Printf("%-24s %6s %12s %12s %12s %8s\n",
+		"query (university, x4)", "par", "vectorized", "row-at-time", "reference", "speedup")
+	for _, q := range queries {
+		for _, par := range []int{1, 4} {
+			sp, err := bench.MeasureVecSpeedup(db, q.name, q.query, par, 20)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s %6d %12s %12s %12s %7.2fx\n",
+				sp.Name, sp.Par, sp.Vec, sp.Row, sp.Reference, sp.Factor())
 		}
 	}
 	return nil

@@ -179,6 +179,21 @@ func rowKey(r store.Row) string {
 	return key
 }
 
+// RowsEqual compares two rows value-for-value under Key equality
+// (NULL equals NULL, 1 equals 1.0) — the row-for-row check the
+// vectorized differential tests use on top of bag equality.
+func RowsEqual(a, b store.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
 // StageProfile is the averaged per-stage latency over a question set
 // (figure F1).
 type StageProfile struct {

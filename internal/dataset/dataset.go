@@ -75,6 +75,33 @@ func mustPositive(scale int) int {
 	return scale
 }
 
-func insert(db *store.DB, table string, vals ...store.Value) {
-	db.MustInsert(table, vals...)
+// loader buffers generated rows per table and bulk-inserts each table
+// once: the store's deferred-index bulk path skips per-row version
+// bumps, stats invalidation and (were any index already built)
+// per-row index maintenance during dataset construction.
+type loader struct {
+	db    *store.DB
+	rows  map[string][]store.Row
+	order []string
+}
+
+func newLoader(db *store.DB) *loader {
+	return &loader{db: db, rows: map[string][]store.Row{}}
+}
+
+func (l *loader) add(table string, vals ...store.Value) {
+	if _, ok := l.rows[table]; !ok {
+		l.order = append(l.order, table)
+	}
+	l.rows[table] = append(l.rows[table], store.Row(vals))
+}
+
+// flush bulk-inserts every buffered table, in first-use order so
+// generation stays deterministic.
+func (l *loader) flush() {
+	for _, table := range l.order {
+		l.db.MustBulkInsert(table, l.rows[table])
+	}
+	l.rows = map[string][]store.Row{}
+	l.order = nil
 }

@@ -246,29 +246,31 @@ var geoMountains = []geoMountain{
 // Geo builds the fixed world-geography database.
 func Geo() *store.DB {
 	db := store.NewDB(GeoSchema())
+	ld := newLoader(db)
 	countryID := map[string]int64{}
 	for i, c := range geoCountries {
 		id := int64(i + 1)
 		countryID[c.name] = id
-		insert(db, "countries",
+		ld.add("countries",
 			store.Int(id), store.Text(c.name), store.Text(c.continent),
 			store.Float(c.area), store.Int(c.pop), store.Float(c.gdp))
 	}
 	for i, c := range geoCities {
-		insert(db, "cities",
+		ld.add("cities",
 			store.Int(int64(i+1)), store.Text(c.name), store.Int(countryID[c.country]),
 			store.Int(c.pop), store.Bool(c.capital))
 	}
 	for i, r := range geoRivers {
-		insert(db, "rivers",
+		ld.add("rivers",
 			store.Int(int64(i+1)), store.Text(r.name), store.Float(r.length),
 			store.Int(countryID[r.country]))
 	}
 	for i, m := range geoMountains {
-		insert(db, "mountains",
+		ld.add("mountains",
 			store.Int(int64(i+1)), store.Text(m.name), store.Float(m.height),
 			store.Int(countryID[m.country]))
 	}
+	ld.flush()
 	if err := db.BuildPrimaryIndexes(); err != nil {
 		panic(err)
 	}

@@ -105,10 +105,11 @@ var salesProducts = []struct {
 func Sales(scale int) *store.DB {
 	scale = mustPositive(scale)
 	db := store.NewDB(SalesSchema())
+	ld := newLoader(db)
 	r := rng(77)
 
 	for i, name := range salesRegions {
-		insert(db, "regions", store.Int(int64(i+1)), store.Text(name))
+		ld.add("regions", store.Int(int64(i+1)), store.Text(name))
 	}
 	// Region sizes are skewed (12/9/6/3 per 30 customers) so "the
 	// region with the most customers" has a unique answer.
@@ -126,14 +127,14 @@ func Sales(scale int) *store.DB {
 	}
 	nCustomers := 30 * scale
 	for i := 0; i < nCustomers; i++ {
-		insert(db, "customers",
+		ld.add("customers",
 			store.Int(int64(i+1)),
 			store.Text(personName(i+200)),
 			store.Int(regionOf(i)),
 			store.Text(salesSegments[r.Intn(len(salesSegments))]))
 	}
 	for i, p := range salesProducts {
-		insert(db, "products",
+		ld.add("products",
 			store.Int(int64(i+1)), store.Text(p.name), store.Text(p.category), store.Float(p.price))
 	}
 	nOrders := 200 * scale
@@ -143,17 +144,18 @@ func Sales(scale int) *store.DB {
 		cust := int64(1 + r.Intn(nCustomers))
 		year := int64(2019 + r.Intn(4))
 		month := int64(1 + r.Intn(12))
-		insert(db, "orders", store.Int(oid), store.Int(cust), store.Int(year), store.Int(month))
+		ld.add("orders", store.Int(oid), store.Int(cust), store.Int(year), store.Int(month))
 		nItems := 1 + r.Intn(3)
 		for k := 0; k < nItems; k++ {
 			itemID++
 			pi := r.Intn(len(salesProducts))
 			qty := int64(1 + r.Intn(5))
 			amount := float64(qty) * salesProducts[pi].price
-			insert(db, "order_items",
+			ld.add("order_items",
 				store.Int(oid), store.Int(int64(pi+1)), store.Int(qty), store.Float(amount))
 		}
 	}
+	ld.flush()
 	if err := db.BuildPrimaryIndexes(); err != nil {
 		panic(err)
 	}

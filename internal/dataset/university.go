@@ -114,10 +114,11 @@ var uniGrades = []string{"A", "A", "B", "B", "B", "C", "C", "D", "F"}
 func University(scale int) *store.DB {
 	scale = mustPositive(scale)
 	db := store.NewDB(UniversitySchema())
+	ld := newLoader(db)
 	r := rng(42)
 
 	for i, d := range uniDepartments {
-		insert(db, "departments",
+		ld.add("departments",
 			store.Int(int64(i+1)), store.Text(d.name), store.Text(d.building), store.Float(d.budget))
 	}
 
@@ -128,7 +129,7 @@ func University(scale int) *store.DB {
 		// superlative questions have tie-free gold answers.
 		salary := 45000 + float64((i*2357)%60000)
 		title := uniTitles[r.Intn(len(uniTitles))]
-		insert(db, "instructors",
+		ld.add("instructors",
 			store.Int(int64(i+1)), store.Text(personName(i)), store.Int(dept),
 			store.Float(salary), store.Text(title))
 	}
@@ -154,7 +155,7 @@ func University(scale int) *store.DB {
 			// Unique-ish GPAs (7 is coprime with 201) avoid superlative ties.
 			gpa = store.Float(2.0 + float64((i*7)%201)/100.0)
 		}
-		insert(db, "students",
+		ld.add("students",
 			store.Int(int64(i+1)), store.Text(personName(i+500)), store.Int(dept),
 			store.Int(year), gpa)
 	}
@@ -172,7 +173,7 @@ func University(scale int) *store.DB {
 			credits := int64(2 + r.Intn(3))
 			// Assign an instructor from the same department.
 			instr := int64(di+1) + int64(r.Intn(nInstructors/len(uniDepartments)))*int64(len(uniDepartments))
-			insert(db, "courses",
+			ld.add("courses",
 				store.Int(int64(courseID)), store.Text(title), store.Int(int64(di+1)),
 				store.Int(credits), store.Int(instr))
 		}
@@ -183,9 +184,10 @@ func University(scale int) *store.DB {
 		sid := int64(1 + r.Intn(nStudents))
 		cid := int64(1 + r.Intn(courseID))
 		grade := uniGrades[r.Intn(len(uniGrades))]
-		insert(db, "enrollments", store.Int(sid), store.Int(cid), store.Text(grade))
+		ld.add("enrollments", store.Int(sid), store.Int(cid), store.Text(grade))
 	}
 
+	ld.flush()
 	if err := db.BuildPrimaryIndexes(); err != nil {
 		panic(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sql"
 	"repro/internal/store"
+	"repro/internal/strutil"
 )
 
 // Eval implements plan.Evaluator: scalar (non-aggregate) expression
@@ -469,37 +470,10 @@ func resolveValue(f *plan.Frame, ref sql.ColumnRef) (store.Value, error) {
 	return store.Value{}, fmt.Errorf("exec: unknown column %q", ref.String())
 }
 
-// matchLike implements SQL LIKE with % (any run) and _ (any single
-// character), matching the whole string, case-sensitively.
+// matchLike implements SQL LIKE semantics; the algorithm lives in
+// strutil so the vectorized LIKE kernel shares it.
 func matchLike(s, pattern string) bool {
-	return likeMatch(s, pattern)
-}
-
-func likeMatch(s, p string) bool {
-	// Iterative two-pointer algorithm with backtracking on %.
-	si, pi := 0, 0
-	star, sBack := -1, 0
-	for si < len(s) {
-		switch {
-		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
-			si++
-			pi++
-		case pi < len(p) && p[pi] == '%':
-			star = pi
-			sBack = si
-			pi++
-		case star >= 0:
-			sBack++
-			si = sBack
-			pi = star + 1
-		default:
-			return false
-		}
-	}
-	for pi < len(p) && p[pi] == '%' {
-		pi++
-	}
-	return pi == len(p)
+	return strutil.MatchLike(s, pattern)
 }
 
 func rowKey(r store.Row) string {

@@ -77,6 +77,34 @@ func Run(db *store.DB, p *plan.Plan) (*Result, error) {
 	return newExecutor(db).run(p, nil)
 }
 
+// QueryNoVec evaluates stmt with vectorized execution disabled
+// everywhere (including subqueries) — the row-at-a-time ablation
+// baseline the vectorized differential tests and the F7 experiment
+// compare against. Results are row-for-row identical to Query.
+func QueryNoVec(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
+	p, err := plan.Compile(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return RunNoVec(db, p)
+}
+
+// QueryParallelNoVec is QueryParallel with vectorization disabled.
+func QueryParallelNoVec(db *store.DB, stmt *sql.SelectStmt, par int) (*Result, error) {
+	p, err := BuildPlanParallel(db, stmt, par)
+	if err != nil {
+		return nil, err
+	}
+	return RunNoVec(db, p)
+}
+
+// RunNoVec executes a compiled plan row-at-a-time.
+func RunNoVec(db *store.DB, p *plan.Plan) (*Result, error) {
+	ex := newExecutor(db)
+	ex.noVec = true
+	return ex.run(p, nil)
+}
+
 // subKey keys the subquery result cache by statement and correlation
 // status. Today only uncorrelated results are ever inserted (correlated
 // subqueries return before the cache, their result depending on the
@@ -103,6 +131,7 @@ type executor struct {
 	planCache map[*sql.SelectStmt]*plan.Plan
 	corrCache map[*sql.SelectStmt]bool // memoized correlation verdicts
 	reference bool                     // route subqueries through the reference path too
+	noVec     bool                     // force row-at-a-time execution (ablation)
 }
 
 func newExecutor(db *store.DB) *executor {
@@ -115,7 +144,7 @@ func newExecutor(db *store.DB) *executor {
 }
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
-	rows, err := plan.Run(p, &plan.Ctx{DB: ex.db, Ev: ex, Parent: parent})
+	rows, err := plan.Run(p, &plan.Ctx{DB: ex.db, Ev: ex, Parent: parent, NoVec: ex.noVec})
 	if err != nil {
 		return nil, err
 	}

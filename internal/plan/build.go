@@ -145,7 +145,11 @@ func finishPlan(root Node, outRel *Rel, stmt *sql.SelectStmt) (*Plan, error) {
 	if stmt.Limit >= 0 {
 		root = &Limit{In: root, N: stmt.Limit}
 	}
-	return &Plan{Root: root, Cols: cols, Stmt: stmt}, nil
+	// The vectorized pipeline is chosen when every expression in the
+	// tree compiles to a vector program; otherwise the row-at-a-time
+	// iterators run wherever needed, with vectorizable sections still
+	// batch-executed node-by-node (see openChild and vecChild).
+	return &Plan{Root: root, Cols: cols, Stmt: stmt, Vec: fullyVec(root)}, nil
 }
 
 // EquiJoin is one "a.x = b.y" conjunct.

@@ -3,7 +3,6 @@ package plan
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/store"
 )
@@ -22,18 +21,43 @@ type Ctx struct {
 	Parent *Frame
 	Par    int // worker budget; <= 1 executes serially
 
-	part   *morselRun   // set inside an Exchange worker: the leaf's morsel
-	shared *sharedState // per-run state shared across Exchange workers
+	// NoVec forces row-at-a-time execution everywhere — the ablation
+	// and differential-testing baseline for the vectorized engine.
+	NoVec bool
+
+	part    *morselRun   // set inside an Exchange worker: the leaf's morsel
+	shared  *sharedState // per-run state shared across Exchange workers
+	scratch []byte       // reusable composite-key buffer; see keyScratch
+}
+
+// keyScratch hands out the context's reusable key buffer (reset to
+// zero length), allocating a fresh one when the context has none. An
+// operator takes the buffer once at open time and owns it for the
+// pipeline's lifetime; the buffer's contents never outlive one key
+// computation (map insertion copies the bytes), so nested operators
+// each taking their own buffer stay correct — only the first taker
+// reuses the context's allocation. Exchange workers clear their copied
+// context's buffer so goroutines never share backing arrays.
+func (c *Ctx) keyScratch() []byte {
+	b := c.scratch
+	c.scratch = nil
+	if b == nil {
+		b = make([]byte, 0, 64)
+	}
+	return b[:0]
 }
 
 // iter is a Volcano-style pull iterator: (nil, nil) signals exhaustion.
 type iter func() (store.Row, error)
 
-// Run executes a compiled plan and materializes the output rows. The
-// pipeline itself streams: scans, filters, hash-join probes, projection
-// and LIMIT all process one row at a time, so a LIMIT without ORDER BY
-// stops reading its inputs early; only sorts, aggregate partitions,
-// join build sides and exchange merges buffer. A plan rewritten by
+// Run executes a compiled plan and materializes the output rows. When
+// the plan's expressions all vectorize (p.Vec), execution is
+// batch-at-a-time over typed column vectors; otherwise the pipeline
+// streams row-at-a-time, with individual vectorizable sections still
+// running in batches (see openChild). Both modes produce identical
+// rows in identical order. A LIMIT without ORDER BY stops reading its
+// inputs early in either mode; only sorts, aggregate partitions, join
+// build sides and exchange merges buffer. A plan rewritten by
 // Parallelize carries its worker degree, picked up here unless the
 // caller pinned ctx.Par explicitly.
 func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
@@ -43,7 +67,16 @@ func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
 	if ctx.Par > 1 && ctx.shared == nil {
 		ctx.shared = &sharedState{}
 	}
-	it, err := p.Root.open(ctx)
+	var it iter
+	var err error
+	if !ctx.NoVec && staticVec(p.Root) {
+		var op viter
+		if op, err = vecOpen(p.Root, ctx); err == nil {
+			it = vecIter(op)
+		}
+	} else {
+		it, err = p.Root.open(ctx)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +97,33 @@ func errUnknownTable(name string) error {
 	return fmt.Errorf("plan: unknown table %q", name)
 }
 
+// openChild starts a child operator for a row-at-a-time parent. A
+// vectorizable child subtree still executes in batches — its rows are
+// materialized at the boundary — so a single non-vectorizable operator
+// (a subquery filter, a cross join) only de-vectorizes itself, not its
+// inputs. Bare scans are exempt: their row iterators hand out existing
+// rows by reference, which beats materializing batch rows.
+func openChild(n Node, ctx *Ctx) (iter, error) {
+	if !ctx.NoVec && vecGainful(n) && staticVec(n) {
+		op, err := vecOpen(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return vecIter(op), nil
+	}
+	return n.open(ctx)
+}
+
+// vecGainful reports whether running n vectorized under a row-mode
+// parent pays for the batch-to-row boundary.
+func vecGainful(n Node) bool {
+	switch n.(type) {
+	case *Scan, *IndexScan:
+		return false
+	}
+	return true
+}
+
 func (s *Scan) open(ctx *Ctx) (iter, error) {
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
 		return projectRows(mr.rows, s.B), nil
@@ -76,9 +136,8 @@ func (s *Scan) open(ctx *Ctx) (iter, error) {
 	return projectRows(rows, s.B), nil
 }
 
-// lookupRows resolves the index probe or range into the matching
-// (unprojected) rows.
-func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
+// lookupIDs resolves the index probe or range into matching row ids.
+func (s *IndexScan) lookupIDs(ctx *Ctx) ([]int, error) {
 	tab := ctx.DB.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
@@ -94,6 +153,17 @@ func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
 		return nil, fmt.Errorf("plan: index on %s.%s disappeared after planning",
 			s.B.Meta.Name, s.Col)
 	}
+	return ids, nil
+}
+
+// lookupRows resolves the index probe or range into the matching
+// (unprojected) rows.
+func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
+	ids, err := s.lookupIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	tab := ctx.DB.Table(s.B.Meta.Name)
 	rows := make([]store.Row, len(ids))
 	for i, id := range ids {
 		rows[i] = tab.Row(id)
@@ -135,7 +205,7 @@ func projectRows(rows []store.Row, b Binding) iter {
 }
 
 func (f *Filter) open(ctx *Ctx) (iter, error) {
-	in, err := f.In.open(ctx)
+	in, err := openChild(f.In, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -182,9 +252,11 @@ func (j *HashJoin) build(ctx *Ctx) (map[string][]store.Row, error) {
 		return parallelHash(rows, j.RKey, ctx.Par), nil
 	}
 	table := map[string][]store.Row{}
+	buf := ctx.keyScratch()
 	for _, r := range rows {
-		if k, ok := joinKey(r, j.RKey); ok {
-			table[k] = append(table[k], r)
+		if k, ok := appendJoinKey(buf[:0], r, j.RKey); ok {
+			buf = k
+			table[string(k)] = append(table[string(k)], r)
 		}
 	}
 	return table, nil
@@ -195,12 +267,14 @@ func (j *HashJoin) open(ctx *Ctx) (iter, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Probe side streams.
-	lit, err := j.L.open(ctx)
+	// Probe side streams. The scratch buffer makes probes
+	// allocation-free: the map lookup over string(buf) does not copy.
+	lit, err := openChild(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}
 	width := j.rel.Width
+	buf := ctx.keyScratch()
 	var matches []store.Row
 	var lrow store.Row
 	mi := 0
@@ -216,8 +290,9 @@ func (j *HashJoin) open(ctx *Ctx) (iter, error) {
 			if err != nil || lrow == nil {
 				return nil, err
 			}
-			if k, ok := joinKey(lrow, j.LKey); ok {
-				matches, mi = table[k], 0
+			if k, ok := appendJoinKey(buf[:0], lrow, j.LKey); ok {
+				buf = k
+				matches, mi = table[string(k)], 0
 			} else {
 				matches, mi = nil, 0
 			}
@@ -225,19 +300,20 @@ func (j *HashJoin) open(ctx *Ctx) (iter, error) {
 	}, nil
 }
 
-// joinKey builds the composite hash key; rows with any NULL key value
-// never match (SQL equality semantics).
-func joinKey(r store.Row, offs []int) (string, bool) {
-	var b strings.Builder
+// appendJoinKey appends the composite hash key of r at offs to buf;
+// ok is false when any key value is NULL (such rows never match, SQL
+// equality semantics). The returned slice is buf extended — callers
+// reuse it as a scratch buffer across rows.
+func appendJoinKey(buf []byte, r store.Row, offs []int) ([]byte, bool) {
 	for _, o := range offs {
 		v := r[o]
 		if v.IsNull() {
-			return "", false
+			return buf, false
 		}
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
+		buf = v.AppendKey(buf)
+		buf = append(buf, '\x1f')
 	}
-	return b.String(), true
+	return buf, true
 }
 
 func (j *CrossJoin) open(ctx *Ctx) (iter, error) {
@@ -274,7 +350,7 @@ func (j *CrossJoin) open(ctx *Ctx) (iter, error) {
 }
 
 func drain(n Node, ctx *Ctx) ([]store.Row, error) {
-	it, err := n.open(ctx)
+	it, err := openChild(n, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +374,7 @@ func concatRow(l, r store.Row, width int) store.Row {
 }
 
 func (p *Project) open(ctx *Ctx) (iter, error) {
-	in, err := p.In.open(ctx)
+	in, err := openChild(p.In, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -325,19 +401,20 @@ func (p *Project) open(ctx *Ctx) (iter, error) {
 	}, nil
 }
 
-// groupKey evaluates the GROUP BY expressions over the frame's row
-// into the composite partition key.
-func (a *Aggregate) groupKey(ctx *Ctx, frame *Frame) (string, error) {
-	var key strings.Builder
+// appendGroupKey evaluates the GROUP BY expressions over the frame's
+// row, appending the composite partition key to buf (a reusable
+// scratch buffer owned by the caller — parallel group workers each
+// pass their own).
+func (a *Aggregate) appendGroupKey(ctx *Ctx, frame *Frame, buf []byte) ([]byte, error) {
 	for _, ge := range a.GroupBy {
 		v, err := ctx.Ev.Eval(frame, ge)
 		if err != nil {
-			return "", err
+			return buf, err
 		}
-		key.WriteString(v.Key())
-		key.WriteByte('\x1f')
+		buf = v.AppendKey(buf)
+		buf = append(buf, '\x1f')
 	}
-	return key.String(), nil
+	return buf, nil
 }
 
 // evalGroup applies HAVING and evaluates the output items (plus
@@ -387,17 +464,19 @@ func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 		frame := &Frame{Rel: rel, Parent: ctx.Parent}
 		byKey := map[string]*Group{}
 		var order []string
+		buf := ctx.keyScratch()
 		for _, r := range input {
 			frame.Row = r
-			k, err := a.groupKey(ctx, frame)
+			k, err := a.appendGroupKey(ctx, frame, buf[:0])
 			if err != nil {
 				return nil, err
 			}
-			g, ok := byKey[k]
+			buf = k
+			g, ok := byKey[string(k)]
 			if !ok {
 				g = &Group{Rel: rel, Parent: ctx.Parent}
-				byKey[k] = g
-				order = append(order, k)
+				byKey[string(k)] = g
+				order = append(order, string(k))
 			}
 			g.Rows = append(g.Rows, r)
 		}
@@ -442,34 +521,36 @@ func (a *Aggregate) open(ctx *Ctx) (iter, error) {
 }
 
 func (d *Distinct) open(ctx *Ctx) (iter, error) {
-	in, err := d.In.open(ctx)
+	in, err := openChild(d.In, ctx)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
+	buf := ctx.keyScratch()
 	return func() (store.Row, error) {
 		for {
 			r, err := in()
 			if err != nil || r == nil {
 				return nil, err
 			}
-			k := prefixKey(r, d.N)
-			if seen[k] {
+			buf = appendPrefixKey(buf[:0], r, d.N)
+			if seen[string(buf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(buf)] = true
 			return r, nil
 		}
 	}, nil
 }
 
-func prefixKey(r store.Row, n int) string {
-	var b strings.Builder
+// appendPrefixKey appends the composite key of the first n values of r
+// to buf (the DISTINCT dedup key).
+func appendPrefixKey(buf []byte, r store.Row, n int) []byte {
 	for i := 0; i < n && i < len(r); i++ {
-		b.WriteString(r[i].Key())
-		b.WriteByte('\x1f')
+		buf = r[i].AppendKey(buf)
+		buf = append(buf, '\x1f')
 	}
-	return b.String()
+	return buf
 }
 
 func (s *Sort) open(ctx *Ctx) (iter, error) {
@@ -507,7 +588,7 @@ func (l *Limit) open(ctx *Ctx) (iter, error) {
 	if l.N <= 0 {
 		return func() (store.Row, error) { return nil, nil }, nil
 	}
-	in, err := l.In.open(ctx)
+	in, err := openChild(l.In, ctx)
 	if err != nil {
 		return nil, err
 	}

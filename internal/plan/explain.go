@@ -18,10 +18,16 @@ func (p *Plan) Explain() string {
 
 // explainNode renders one operator line. par is the degree of
 // parallelism the node executes under (0 outside any exchange): every
-// node below an Exchange is annotated with the worker count driving it.
+// node below an Exchange is annotated with the worker count driving
+// it. Nodes that execute batch-at-a-time over column vectors carry
+// [vec]; a node without the mark falls back to the row iterator while
+// its vectorizable neighbors stay in batches.
 func explainNode(b *strings.Builder, n Node, prefix, childPrefix string, par int) {
 	b.WriteString(prefix)
 	b.WriteString(n.describe())
+	if staticVec(n) {
+		b.WriteString(" [vec]")
+	}
 	if par > 1 {
 		fmt.Fprintf(b, " [par=%d]", par)
 	}

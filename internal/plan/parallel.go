@@ -152,28 +152,41 @@ func partitionLeaf(n Node) Node {
 }
 
 // baseRows materializes the unprojected row set of the partitioned
-// leaf: the full table for a Scan, the index-selected rows for an
-// IndexScan.
-func baseRows(n Node, ctx *Ctx) ([]store.Row, Binding, error) {
+// leaf: the full table for a Scan (ids nil — positions are row ids),
+// the index-selected rows and their ids for an IndexScan.
+func baseRows(n Node, ctx *Ctx) ([]store.Row, []int, Binding, error) {
 	switch s := n.(type) {
 	case *Scan:
 		tab := ctx.DB.Table(s.B.Meta.Name)
 		if tab == nil {
-			return nil, Binding{}, errUnknownTable(s.B.Meta.Name)
+			return nil, nil, Binding{}, errUnknownTable(s.B.Meta.Name)
 		}
-		return tab.Rows(), s.B, nil
+		return tab.Rows(), nil, s.B, nil
 	case *IndexScan:
-		rows, err := s.lookupRows(ctx)
-		return rows, s.B, err
+		ids, err := s.lookupIDs(ctx)
+		if err != nil {
+			return nil, nil, Binding{}, err
+		}
+		tab := ctx.DB.Table(s.B.Meta.Name)
+		rows := make([]store.Row, len(ids))
+		for i, id := range ids {
+			rows[i] = tab.Row(id)
+		}
+		return rows, ids, s.B, nil
 	}
-	return nil, Binding{}, errUnknownTable("<not a leaf>")
+	return nil, nil, Binding{}, errUnknownTable("<not a leaf>")
 }
 
 // morselRun tells a leaf scan inside a worker which slice of its base
-// rows to produce instead of the full table.
+// rows to produce instead of the full table. The row iterator consumes
+// rows; the vectorized scan consumes the [lo, hi) range (a zero-copy
+// window over the column vectors) or, for index scans, the ids to
+// gather.
 type morselRun struct {
-	node Node // identity of the partitioned leaf
-	rows []store.Row
+	node   Node // identity of the partitioned leaf
+	rows   []store.Row
+	lo, hi int   // base-table row range (Scan morsels)
+	ids    []int // index-selected row ids (IndexScan morsels)
 }
 
 func (e *Exchange) open(ctx *Ctx) (iter, error) {
@@ -184,7 +197,7 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 	if ctx.Par > 0 && ctx.Par < workers {
 		workers = ctx.Par
 	}
-	rows, _, err := baseRows(e.part, ctx)
+	rows, ids, _, err := baseRows(e.part, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +234,12 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 					hi = len(rows)
 				}
 				wctx := *ctx
-				wctx.part = &morselRun{node: e.part, rows: rows[lo:hi]}
+				wctx.scratch = nil // never share key buffers across workers
+				mr := &morselRun{node: e.part, rows: rows[lo:hi], lo: lo, hi: hi}
+				if ids != nil {
+					mr.ids = ids[lo:hi]
+				}
+				wctx.part = mr
 				out, err := drain(e.In, &wctx)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
@@ -253,16 +271,24 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 }
 
 // sharedState carries per-execution state shared by the workers of
-// every Exchange in the plan: hash-join build sides are computed once
-// and probed concurrently.
+// every Exchange in the plan: hash-join build sides (row tables or
+// columnar vectorized builds, depending on the mode the join executes
+// in) are computed once and probed concurrently.
 type sharedState struct {
-	mu     sync.Mutex
-	builds map[*HashJoin]*buildEntry
+	mu        sync.Mutex
+	builds    map[*HashJoin]*buildEntry
+	vecBuilds map[*HashJoin]*vecBuildEntry
 }
 
 type buildEntry struct {
 	once  sync.Once
 	table map[string][]store.Row
+	err   error
+}
+
+type vecBuildEntry struct {
+	once  sync.Once
+	build *vecBuildTable
 	err   error
 }
 
@@ -276,6 +302,20 @@ func (s *sharedState) entry(j *HashJoin) *buildEntry {
 	if !ok {
 		e = &buildEntry{}
 		s.builds[j] = e
+	}
+	return e
+}
+
+func (s *sharedState) vecEntry(j *HashJoin) *vecBuildEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vecBuilds == nil {
+		s.vecBuilds = map[*HashJoin]*vecBuildEntry{}
+	}
+	e, ok := s.vecBuilds[j]
+	if !ok {
+		e = &vecBuildEntry{}
+		s.vecBuilds[j] = e
 	}
 	return e
 }
@@ -300,9 +340,11 @@ func parallelHash(rows []store.Row, key []int, par int) map[string][]store.Row {
 				hi = len(rows)
 			}
 			part := map[string][]store.Row{}
+			var buf []byte // per-goroutine scratch, never shared
 			for _, r := range rows[lo:hi] {
-				if k, ok := joinKey(r, key); ok {
-					part[k] = append(part[k], r)
+				if k, ok := appendJoinKey(buf[:0], r, key); ok {
+					buf = k
+					part[string(k)] = append(part[string(k)], r)
 				}
 			}
 			partials[c] = part
@@ -348,18 +390,20 @@ func (a *Aggregate) parallelGroups(ctx *Ctx, rel *Rel, input []store.Row, par in
 			}
 			p := partial{byKey: map[string]*Group{}}
 			frame := &Frame{Rel: rel, Parent: ctx.Parent}
+			var buf []byte // per-goroutine scratch, never shared
 			for _, r := range input[lo:hi] {
 				frame.Row = r
-				k, err := a.groupKey(ctx, frame)
+				k, err := a.appendGroupKey(ctx, frame, buf[:0])
 				if err != nil {
 					errs[c] = err
 					return
 				}
-				g, ok := p.byKey[k]
+				buf = k
+				g, ok := p.byKey[string(k)]
 				if !ok {
 					g = &Group{Rel: rel, Parent: ctx.Parent}
-					p.byKey[k] = g
-					p.order = append(p.order, k)
+					p.byKey[string(k)] = g
+					p.order = append(p.order, string(k))
 				}
 				g.Rows = append(g.Rows, r)
 			}

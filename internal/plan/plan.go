@@ -245,12 +245,17 @@ func (l *Limit) Children() []Node     { return []Node{l.In} }
 
 // Plan is a compiled query: the operator tree plus output column names.
 // Par records the worker degree Parallelize rewrote the tree for
-// (0 or 1 means serial).
+// (0 or 1 means serial). Vec records that every operator vectorizes,
+// so Run executes the whole tree batch-at-a-time over typed column
+// vectors; plans with non-vectorizable expressions still batch-execute
+// their vectorizable sections, falling back to row iterators
+// node-by-node (Ctx.NoVec disables vectorization entirely).
 type Plan struct {
 	Root Node
 	Cols []string
 	Stmt *sql.SelectStmt
 	Par  int
+	Vec  bool
 }
 
 // Walk visits every node of the tree in pre-order.

@@ -1,0 +1,1218 @@
+package plan
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+// This file is the operator half of the vectorized executor:
+// batch-at-a-time scan, filter, project, hash join, aggregate, sort,
+// distinct and limit over the typed column vectors of vec.go, plus the
+// adapters that let vectorized and row-at-a-time operators nest freely
+// in either direction (rowSource wraps a row subtree into batches,
+// vecIter wraps a batch subtree into a row iterator).
+//
+// Every operator preserves the row path's output order exactly, so a
+// vectorized plan is row-for-row identical to its serial row-at-a-time
+// execution — the property the differential tests pin.
+
+// viter is a pull iterator over batches; nil signals exhaustion.
+// Returned batches always have at least one selected row.
+type viter func() (*vbatch, error)
+
+// fullyVec reports whether every operator in the tree vectorizes —
+// the "vectorized pipeline chosen end-to-end" property Plan.Vec
+// records. Pipeline operators without expressions of their own
+// (Sort/Distinct/Limit/Exchange) vectorize with their inputs.
+func fullyVec(root Node) bool {
+	all := true
+	Walk(root, func(n Node) {
+		switch n.(type) {
+		case *Distinct, *Sort, *Limit, *Exchange:
+		default:
+			if !staticVec(n) {
+				all = false
+			}
+		}
+	})
+	return all
+}
+
+// staticVec reports whether node n executes batch-at-a-time: its own
+// expressions must compile to vector programs. Operators above the
+// projection boundary (Sort/Distinct/Limit) vectorize exactly when
+// their input does — wrapping a row-mode projection in batches buys
+// nothing. A node whose expressions decline (subqueries, correlation,
+// cross-kind comparisons) falls back to the row iterator while its
+// neighbors stay vectorized.
+func staticVec(n Node) bool {
+	switch t := n.(type) {
+	case *Scan, *IndexScan:
+		return true
+	case *Filter:
+		return compilesOver(t.In.Rel(), t.Pred)
+	case *HashJoin:
+		return true
+	case *CrossJoin:
+		return false
+	case *Project:
+		exprs := append(append([]sql.Expr{}, t.Items...), t.SortKeys...)
+		return compilesOver(t.In.Rel(), exprs...)
+	case *Aggregate:
+		_, ok := planVecAgg(t)
+		return ok
+	case *Distinct:
+		return staticVec(t.In)
+	case *Sort:
+		return staticVec(t.In)
+	case *Limit:
+		return staticVec(t.In)
+	case *Exchange:
+		return staticVec(t.In)
+	}
+	return false
+}
+
+// vecOpen starts the batch iterator of a vectorizable node. Callers
+// must have checked staticVec(n).
+func vecOpen(n Node, ctx *Ctx) (viter, error) {
+	switch t := n.(type) {
+	case *Scan:
+		return t.vopen(ctx)
+	case *IndexScan:
+		return t.vopen(ctx)
+	case *Filter:
+		return t.vopen(ctx)
+	case *HashJoin:
+		return t.vopen(ctx)
+	case *Project:
+		return t.vopen(ctx)
+	case *Aggregate:
+		return t.vopen(ctx)
+	case *Distinct:
+		return t.vopen(ctx)
+	case *Sort:
+		return t.vopen(ctx)
+	case *Limit:
+		return t.vopen(ctx)
+	case *Exchange:
+		return t.vopen(ctx)
+	}
+	return nil, errUnknownTable("<not vectorizable>")
+}
+
+// vecChild opens a relational child: vectorized when it can be,
+// adapted from its row iterator otherwise (node-by-node fallback).
+func vecChild(n Node, ctx *Ctx) (viter, error) {
+	if staticVec(n) {
+		return vecOpen(n, ctx)
+	}
+	return rowSource(n, ctx)
+}
+
+// rowSource adapts a row-at-a-time subtree into batches. Only
+// relational nodes are adapted — their column kinds are known from the
+// schema bindings.
+func rowSource(n Node, ctx *Ctx) (viter, error) {
+	it, err := n.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	kinds := relKinds(n.Rel())
+	done := false
+	return func() (*vbatch, error) {
+		if done {
+			return nil, nil
+		}
+		bufs := make([]*colbuf, len(kinds))
+		for c, k := range kinds {
+			bufs[c] = newColbuf(k)
+		}
+		rows := 0
+		for rows < maxBatch {
+			r, err := it()
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				done = true
+				break
+			}
+			for c := range bufs {
+				bufs[c].pushValue(r[c])
+			}
+			rows++
+		}
+		if rows == 0 {
+			return nil, nil
+		}
+		b := &vbatch{n: rows, cols: make([]vcol, len(bufs))}
+		for c := range bufs {
+			b.cols[c] = bufs[c].col()
+		}
+		return b, nil
+	}, nil
+}
+
+// vecIter adapts a batch iterator into a row iterator — the bridge a
+// row-mode parent uses over a vectorized subtree.
+func vecIter(op viter) iter {
+	var b *vbatch
+	pos := 0
+	return func() (store.Row, error) {
+		for {
+			if b == nil {
+				nb, err := op()
+				if err != nil {
+					return nil, err
+				}
+				if nb == nil {
+					return nil, nil
+				}
+				b, pos = nb, 0
+			}
+			if pos >= b.rows() {
+				b = nil
+				continue
+			}
+			i := pos
+			if b.sel != nil {
+				i = int(b.sel[pos])
+			}
+			pos++
+			row := make(store.Row, len(b.cols))
+			for c := range b.cols {
+				row[c] = b.cols[c].value(i)
+			}
+			return row, nil
+		}
+	}
+}
+
+// ---- scans ----
+
+// retainedVecs picks the binding's retained column vectors.
+func retainedVecs(tab *store.Table, b Binding) []*store.ColVec {
+	all := tab.ColVecs()
+	out := make([]*store.ColVec, len(b.Cols))
+	for p, ci := range b.Cols {
+		out[p] = all[ci]
+	}
+	return out
+}
+
+// sliceBatches iterates [lo, hi) of the column vectors as zero-copy
+// batch views.
+func sliceBatches(cvs []*store.ColVec, lo, hi int) viter {
+	pos := lo
+	return func() (*vbatch, error) {
+		if pos >= hi {
+			return nil, nil
+		}
+		end := pos + maxBatch
+		if end > hi {
+			end = hi
+		}
+		b := &vbatch{n: end - pos, cols: make([]vcol, len(cvs))}
+		for c, cv := range cvs {
+			b.cols[c] = vcol{
+				kind:  cv.Kind,
+				nulls: cv.NullMask(pos, end),
+			}
+			switch cv.Kind {
+			case store.KindInt:
+				b.cols[c].ints = cv.Ints[pos:end]
+			case store.KindFloat:
+				b.cols[c].floats = cv.Floats[pos:end]
+			case store.KindText:
+				b.cols[c].strs = cv.Strs[pos:end]
+			case store.KindBool:
+				b.cols[c].bools = cv.Bools[pos:end]
+			}
+		}
+		pos = end
+		return b, nil
+	}
+}
+
+// gatherBatches materializes the given row ids of the column vectors
+// into dense batches — the index-scan and morsel-over-ids form.
+func gatherBatches(cvs []*store.ColVec, ids []int) viter {
+	pos := 0
+	return func() (*vbatch, error) {
+		if pos >= len(ids) {
+			return nil, nil
+		}
+		end := pos + maxBatch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		chunk := ids[pos:end]
+		b := &vbatch{n: len(chunk), cols: make([]vcol, len(cvs))}
+		for c, cv := range cvs {
+			cb := newColbuf(cv.Kind)
+			for _, id := range chunk {
+				cb.pushStore(cv, id)
+			}
+			b.cols[c] = cb.col()
+		}
+		pos = end
+		return b, nil
+	}
+}
+
+func (s *Scan) vopen(ctx *Ctx) (viter, error) {
+	tab := ctx.DB.Table(s.B.Meta.Name)
+	if tab == nil {
+		return nil, errUnknownTable(s.B.Meta.Name)
+	}
+	cvs := retainedVecs(tab, s.B)
+	if mr := ctx.part; mr != nil && mr.node == Node(s) {
+		if mr.ids != nil {
+			return gatherBatches(cvs, mr.ids), nil
+		}
+		return sliceBatches(cvs, mr.lo, mr.hi), nil
+	}
+	return sliceBatches(cvs, 0, tab.Len()), nil
+}
+
+func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
+	tab := ctx.DB.Table(s.B.Meta.Name)
+	if tab == nil {
+		return nil, errUnknownTable(s.B.Meta.Name)
+	}
+	cvs := retainedVecs(tab, s.B)
+	if mr := ctx.part; mr != nil && mr.node == Node(s) {
+		return gatherBatches(cvs, mr.ids), nil
+	}
+	ids, err := s.lookupIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return gatherBatches(cvs, ids), nil
+}
+
+// ---- filter ----
+
+func (f *Filter) vopen(ctx *Ctx) (viter, error) {
+	in, err := vecChild(f.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pred, ok := compileRel(f.In.Rel()).compile(f.Pred)
+	if !ok {
+		return nil, errUnknownTable("<filter predicate not vectorizable>")
+	}
+	return func() (*vbatch, error) {
+		for {
+			b, err := in()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			pc := pred.eval(b)
+			sel := make([]int32, 0, b.rows())
+			b.forSel(func(i int) {
+				if pc.kind == store.KindBool && !pc.null(i) && pc.bools[i] {
+					sel = append(sel, int32(i))
+				}
+			})
+			if len(sel) == 0 {
+				continue
+			}
+			b.sel = sel
+			return b, nil
+		}
+	}, nil
+}
+
+// ---- hash join ----
+
+// vecBuildTable is a materialized, hashed build side: the right
+// input's columns plus a typed hash table from 64-bit key hash to
+// build row ids (verified by value on probe).
+type vecBuildTable struct {
+	cols  []vcol
+	table map[uint64][]int32
+}
+
+func (j *HashJoin) vecBuild(ctx *Ctx) (*vecBuildTable, error) {
+	if ctx.shared == nil {
+		return j.vecBuildLocal(ctx)
+	}
+	e := ctx.shared.vecEntry(j)
+	e.once.Do(func() { e.build, e.err = j.vecBuildLocal(ctx) })
+	return e.build, e.err
+}
+
+func (j *HashJoin) vecBuildLocal(ctx *Ctx) (*vecBuildTable, error) {
+	in, err := vecChild(j.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	kinds := relKinds(j.R.Rel())
+	bufs := make([]*colbuf, len(kinds))
+	for c, k := range kinds {
+		bufs[c] = newColbuf(k)
+	}
+	for {
+		b, err := in()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		b.forSel(func(i int) {
+			for c := range bufs {
+				bufs[c].push(&b.cols[c], i)
+			}
+		})
+	}
+	bt := &vecBuildTable{cols: make([]vcol, len(bufs)), table: map[uint64][]int32{}}
+	for c := range bufs {
+		bt.cols[c] = bufs[c].col()
+	}
+	n := 0
+	if len(bufs) > 0 {
+		n = bufs[0].len()
+	}
+	hs := make([]uint64, n)
+	for _, off := range j.RKey {
+		hashCol(&bt.cols[off], n, hs)
+	}
+	for i := 0; i < n; i++ {
+		nullKey := false
+		for _, off := range j.RKey {
+			if bt.cols[off].kind == store.KindNull || bt.cols[off].null(i) {
+				nullKey = true
+				break
+			}
+		}
+		if nullKey {
+			continue // NULL keys never join
+		}
+		bt.table[hs[i]] = append(bt.table[hs[i]], int32(i))
+	}
+	return bt, nil
+}
+
+func (j *HashJoin) vopen(ctx *Ctx) (viter, error) {
+	bt, err := j.vecBuild(ctx)
+	if err != nil {
+		return nil, err
+	}
+	in, err := vecChild(j.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	lWidth := j.L.Rel().Width
+	return func() (*vbatch, error) {
+		for {
+			b, err := in()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			hs := make([]uint64, b.n)
+			for _, off := range j.LKey {
+				hashCol(&b.cols[off], b.n, hs)
+			}
+			lidx := make([]int32, 0, b.rows())
+			ridx := make([]int32, 0, b.rows())
+			b.forSel(func(i int) {
+				for _, off := range j.LKey {
+					if b.cols[off].kind == store.KindNull || b.cols[off].null(i) {
+						return
+					}
+				}
+				for _, cand := range bt.table[hs[i]] {
+					match := true
+					for k, loff := range j.LKey {
+						if !eqVals(&b.cols[loff], i, &bt.cols[j.RKey[k]], int(cand)) {
+							match = false
+							break
+						}
+					}
+					if match {
+						lidx = append(lidx, int32(i))
+						ridx = append(ridx, cand)
+					}
+				}
+			})
+			if len(lidx) == 0 {
+				continue
+			}
+			out := &vbatch{n: len(lidx), cols: make([]vcol, j.rel.Width)}
+			for c := 0; c < lWidth; c++ {
+				out.cols[c] = gatherCol(&b.cols[c], lidx)
+			}
+			for c := lWidth; c < j.rel.Width; c++ {
+				out.cols[c] = gatherCol(&bt.cols[c-lWidth], ridx)
+			}
+			return out, nil
+		}
+	}, nil
+}
+
+// ---- project ----
+
+func (p *Project) vopen(ctx *Ctx) (viter, error) {
+	in, err := vecChild(p.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	c := compileRel(p.In.Rel())
+	exprs := make([]vexpr, 0, len(p.Items)+len(p.SortKeys))
+	for _, e := range append(append([]sql.Expr{}, p.Items...), p.SortKeys...) {
+		ve, ok := c.compile(e)
+		if !ok {
+			return nil, errUnknownTable("<projection not vectorizable>")
+		}
+		exprs = append(exprs, ve)
+	}
+	return func() (*vbatch, error) {
+		b, err := in()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := &vbatch{n: b.rows(), cols: make([]vcol, len(exprs))}
+		for x, ve := range exprs {
+			rc := ve.eval(b)
+			if b.sel != nil {
+				rc = gatherCol(&rc, b.sel)
+			}
+			out.cols[x] = rc
+		}
+		return out, nil
+	}, nil
+}
+
+// ---- aggregate ----
+
+// vecAggSlot is one aggregate computation: the function, its compiled
+// argument over the input relation, and its result kind.
+type vecAggSlot struct {
+	fn      string
+	star    bool
+	arg     vexpr
+	argKind store.Kind
+	outKind store.Kind
+}
+
+// vecAggPlan is the decomposed Aggregate: GROUP BY key programs over
+// the input, aggregate slots, and the output item/HAVING/sort-key
+// programs over the group pseudo-relation whose columns are the keys
+// followed by the aggregate results.
+type vecAggPlan struct {
+	keys   []vexpr
+	slots  []vecAggSlot
+	items  []vexpr
+	having vexpr
+	nOut   int // len(Items) + len(SortKeys)
+}
+
+// planVecAgg decomposes a into a vectorized aggregation plan, or
+// reports it non-vectorizable: every output item must reduce to GROUP
+// BY expressions, standard non-DISTINCT aggregates over vectorizable
+// arguments, and vectorizable combinations thereof.
+func planVecAgg(a *Aggregate) (*vecAggPlan, bool) {
+	rel := a.In.Rel()
+	in := compileRel(rel)
+	ap := &vecAggPlan{}
+	pseudoIdx := map[string]int{}
+	var pseudoKinds []store.Kind
+	for i, g := range a.GroupBy {
+		ve, ok := in.compile(g)
+		if !ok {
+			return nil, false
+		}
+		ap.keys = append(ap.keys, ve)
+		pseudoIdx[g.String()] = i
+		pseudoKinds = append(pseudoKinds, ve.kind())
+	}
+	makeSlot := func(fc *sql.FuncCall) (vecAggSlot, bool) {
+		if fc.Distinct {
+			return vecAggSlot{}, false
+		}
+		slot := vecAggSlot{fn: fc.Name, star: fc.Star}
+		if fc.Star {
+			if fc.Name != "COUNT" {
+				return vecAggSlot{}, false
+			}
+			slot.outKind = store.KindInt
+			return slot, true
+		}
+		arg, ok := in.compile(fc.Arg)
+		if !ok {
+			return vecAggSlot{}, false
+		}
+		slot.arg, slot.argKind = arg, arg.kind()
+		switch fc.Name {
+		case "COUNT":
+			slot.outKind = store.KindInt
+		case "SUM":
+			if !numericOrNull(slot.argKind) {
+				return vecAggSlot{}, false
+			}
+			slot.outKind = slot.argKind
+		case "AVG":
+			if !numericOrNull(slot.argKind) {
+				return vecAggSlot{}, false
+			}
+			slot.outKind = store.KindFloat
+			if slot.argKind == store.KindNull {
+				slot.outKind = store.KindNull
+			}
+		case "MIN", "MAX":
+			slot.outKind = slot.argKind
+		default:
+			return vecAggSlot{}, false
+		}
+		return slot, true
+	}
+	outer := &vcompiler{}
+	outer.resolve = func(e sql.Expr) (vexpr, bool) {
+		if idx, ok := pseudoIdx[e.String()]; ok {
+			return &vcolRef{off: idx, k: pseudoKinds[idx]}, true
+		}
+		if fc, ok := e.(*sql.FuncCall); ok {
+			slot, ok := makeSlot(fc)
+			if !ok {
+				return nil, true
+			}
+			idx := len(pseudoKinds)
+			pseudoIdx[fc.String()] = idx
+			pseudoKinds = append(pseudoKinds, slot.outKind)
+			ap.slots = append(ap.slots, slot)
+			return &vcolRef{off: idx, k: slot.outKind}, true
+		}
+		if _, ok := e.(sql.ColumnRef); ok {
+			// A bare column that is not a GROUP BY key: the row path
+			// evaluates it on the group's representative row.
+			return nil, true
+		}
+		return nil, false
+	}
+	for _, e := range append(append([]sql.Expr{}, a.Items...), a.SortKeys...) {
+		ve, ok := outer.compile(e)
+		if !ok {
+			return nil, false
+		}
+		ap.items = append(ap.items, ve)
+	}
+	if a.Having != nil {
+		ve, ok := outer.compile(a.Having)
+		if !ok {
+			return nil, false
+		}
+		ap.having = ve
+	}
+	ap.nOut = len(a.Items) + len(a.SortKeys)
+	return ap, true
+}
+
+// aggState holds the running accumulators of one slot, one entry per
+// group.
+type aggState struct {
+	counts []int64
+	sums   []float64
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	has    []bool
+}
+
+func (st *aggState) grow() {
+	st.counts = append(st.counts, 0)
+	st.sums = append(st.sums, 0)
+	st.ints = append(st.ints, 0)
+	st.floats = append(st.floats, 0)
+	st.strs = append(st.strs, "")
+	st.bools = append(st.bools, false)
+	st.has = append(st.has, false)
+}
+
+// update folds value i of the argument column into group gid, exactly
+// reproducing the scalar aggregate semantics (NULLs skipped, SUM/AVG
+// accumulate in float64, MIN/MAX keep the first of equals).
+func (slot *vecAggSlot) update(st *aggState, gid int, arg *vcol, i int) {
+	if slot.star {
+		st.counts[gid]++
+		return
+	}
+	if arg.kind == store.KindNull || arg.null(i) {
+		return
+	}
+	switch slot.fn {
+	case "COUNT":
+		st.counts[gid]++
+	case "SUM", "AVG":
+		st.counts[gid]++
+		if arg.kind == store.KindInt {
+			st.sums[gid] += float64(arg.ints[i])
+		} else {
+			st.sums[gid] += arg.floats[i]
+		}
+	case "MIN", "MAX":
+		min := slot.fn == "MIN"
+		switch slot.argKind {
+		case store.KindInt:
+			// Exact integer comparison, matching the row path's
+			// int-int store.Compare (a float64 round-trip collapses
+			// distinct values beyond 2^53).
+			v := arg.ints[i]
+			cur := st.ints[gid]
+			if !st.has[gid] || (min && v < cur) || (!min && v > cur) {
+				st.ints[gid] = v
+				st.has[gid] = true
+			}
+		case store.KindFloat:
+			f := arg.floats[i]
+			cur := st.floats[gid]
+			if !st.has[gid] || (min && f < cur) || (!min && f > cur) {
+				st.floats[gid] = f
+				st.has[gid] = true
+			}
+		case store.KindText:
+			s := arg.strs[i]
+			if !st.has[gid] || (min && s < st.strs[gid]) || (!min && s > st.strs[gid]) {
+				st.strs[gid] = s
+				st.has[gid] = true
+			}
+		case store.KindBool:
+			v := arg.bools[i]
+			cur := st.bools[gid]
+			if !st.has[gid] || (min && !v && cur) || (!min && v && !cur) {
+				st.bools[gid] = v
+				st.has[gid] = true
+			}
+		}
+	}
+}
+
+// col freezes the slot's per-group results into an output column.
+func (slot *vecAggSlot) col(st *aggState, n int) vcol {
+	switch slot.fn {
+	case "COUNT":
+		return vcol{kind: store.KindInt, ints: st.counts[:n]}
+	case "SUM":
+		nulls := countNulls(st.counts[:n])
+		if slot.outKind == store.KindInt {
+			out := make([]int64, n)
+			for i := 0; i < n; i++ {
+				out[i] = int64(st.sums[i])
+			}
+			return vcol{kind: store.KindInt, ints: out, nulls: nulls}
+		}
+		if slot.outKind == store.KindNull {
+			return allNullCol(n)
+		}
+		return vcol{kind: store.KindFloat, floats: st.sums[:n], nulls: nulls}
+	case "AVG":
+		if slot.outKind == store.KindNull {
+			return allNullCol(n)
+		}
+		nulls := countNulls(st.counts[:n])
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if st.counts[i] > 0 {
+				out[i] = st.sums[i] / float64(st.counts[i])
+			}
+		}
+		return vcol{kind: store.KindFloat, floats: out, nulls: nulls}
+	default: // MIN, MAX
+		var nulls []bool
+		for i := 0; i < n; i++ {
+			if !st.has[i] {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			}
+		}
+		switch slot.argKind {
+		case store.KindInt:
+			return vcol{kind: store.KindInt, ints: st.ints[:n], nulls: nulls}
+		case store.KindFloat:
+			return vcol{kind: store.KindFloat, floats: st.floats[:n], nulls: nulls}
+		case store.KindText:
+			return vcol{kind: store.KindText, strs: st.strs[:n], nulls: nulls}
+		case store.KindBool:
+			return vcol{kind: store.KindBool, bools: st.bools[:n], nulls: nulls}
+		}
+		return allNullCol(n)
+	}
+}
+
+// countNulls marks groups with a zero non-NULL count (SUM/AVG of an
+// empty set is NULL); nil when every group accumulated something.
+func countNulls(counts []int64) []bool {
+	var nulls []bool
+	for i, c := range counts {
+		if c == 0 {
+			if nulls == nil {
+				nulls = make([]bool, len(counts))
+			}
+			nulls[i] = true
+		}
+	}
+	return nulls
+}
+
+func allNullCol(n int) vcol {
+	nulls := make([]bool, n)
+	for i := range nulls {
+		nulls[i] = true
+	}
+	return vcol{kind: store.KindNull, nulls: nulls}
+}
+
+func (a *Aggregate) vopen(ctx *Ctx) (viter, error) {
+	ap, ok := planVecAgg(a)
+	if !ok {
+		return nil, errUnknownTable("<aggregate not vectorizable>")
+	}
+	in, err := vecChild(a.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	nk := len(ap.keys)
+	keyBufs := make([]*colbuf, nk)
+	for i, k := range ap.keys {
+		keyBufs[i] = newColbuf(k.kind())
+	}
+	groupIdx := map[uint64][]int32{}
+	states := make([]aggState, len(ap.slots))
+	ngroups := 0
+	if nk == 0 {
+		// The global group exists even over empty input.
+		ngroups = 1
+		for s := range states {
+			states[s].grow()
+		}
+	}
+
+	for {
+		b, err := in()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		keyCols := make([]vcol, nk)
+		for k, ve := range ap.keys {
+			keyCols[k] = ve.eval(b)
+		}
+		argCols := make([]vcol, len(ap.slots))
+		for s := range ap.slots {
+			if ap.slots[s].arg != nil {
+				argCols[s] = ap.slots[s].arg.eval(b)
+			}
+		}
+		var hs []uint64
+		if nk > 0 {
+			hs = make([]uint64, b.n)
+			for k := range keyCols {
+				hashCol(&keyCols[k], b.n, hs)
+			}
+		}
+		b.forSel(func(i int) {
+			gid := 0
+			if nk > 0 {
+				h := hs[i]
+				gid = -1
+				for _, cand := range groupIdx[h] {
+					match := true
+					for k := range keyCols {
+						kc := keyBufs[k].col()
+						if !eqVals(&keyCols[k], i, &kc, int(cand)) {
+							match = false
+							break
+						}
+					}
+					if match {
+						gid = int(cand)
+						break
+					}
+				}
+				if gid < 0 {
+					gid = ngroups
+					ngroups++
+					for k := range keyCols {
+						keyBufs[k].push(&keyCols[k], i)
+					}
+					groupIdx[h] = append(groupIdx[h], int32(gid))
+					for s := range states {
+						states[s].grow()
+					}
+				}
+			}
+			for s := range ap.slots {
+				ap.slots[s].update(&states[s], gid, &argCols[s], i)
+			}
+		})
+	}
+
+	// Assemble the group pseudo-relation: keys, then aggregate results.
+	g := &vbatch{n: ngroups, cols: make([]vcol, nk+len(ap.slots))}
+	for k := range keyBufs {
+		g.cols[k] = keyBufs[k].col()
+	}
+	for s := range ap.slots {
+		g.cols[nk+s] = ap.slots[s].col(&states[s], ngroups)
+	}
+	if ap.having != nil {
+		hc := ap.having.eval(g)
+		var sel []int32
+		for i := 0; i < g.n; i++ {
+			if hc.kind == store.KindBool && !hc.null(i) && hc.bools[i] {
+				sel = append(sel, int32(i))
+			}
+		}
+		g.sel = sel
+		if len(sel) == 0 {
+			return func() (*vbatch, error) { return nil, nil }, nil
+		}
+	}
+	out := &vbatch{n: g.rows(), cols: make([]vcol, len(ap.items))}
+	for x, ve := range ap.items {
+		rc := ve.eval(g)
+		if g.sel != nil {
+			rc = gatherCol(&rc, g.sel)
+		}
+		out.cols[x] = rc
+	}
+	done := false
+	return func() (*vbatch, error) {
+		if done || out.n == 0 {
+			return nil, nil
+		}
+		done = true
+		return out, nil
+	}, nil
+}
+
+// ---- distinct ----
+
+func (d *Distinct) vopen(ctx *Ctx) (viter, error) {
+	in, err := vecOpen(d.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var seen []*colbuf
+	idx := map[uint64][]int32{}
+	total := 0
+	return func() (*vbatch, error) {
+		for {
+			b, err := in()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			nkey := d.N
+			if nkey > len(b.cols) {
+				nkey = len(b.cols)
+			}
+			if seen == nil {
+				seen = make([]*colbuf, nkey)
+				for c := 0; c < nkey; c++ {
+					seen[c] = newColbuf(b.cols[c].kind)
+				}
+			}
+			hs := make([]uint64, b.n)
+			for c := 0; c < nkey; c++ {
+				hashCol(&b.cols[c], b.n, hs)
+			}
+			var kept []int32
+			b.forSel(func(i int) {
+				for _, cand := range idx[hs[i]] {
+					match := true
+					for c := 0; c < nkey; c++ {
+						sc := seen[c].col()
+						if !eqVals(&b.cols[c], i, &sc, int(cand)) {
+							match = false
+							break
+						}
+					}
+					if match {
+						return
+					}
+				}
+				for c := 0; c < nkey; c++ {
+					seen[c].push(&b.cols[c], i)
+				}
+				idx[hs[i]] = append(idx[hs[i]], int32(total))
+				total++
+				kept = append(kept, int32(i))
+			})
+			if len(kept) == 0 {
+				continue
+			}
+			out := &vbatch{n: len(kept), cols: make([]vcol, len(b.cols))}
+			for c := range b.cols {
+				out.cols[c] = gatherCol(&b.cols[c], kept)
+			}
+			return out, nil
+		}
+	}, nil
+}
+
+// ---- sort ----
+
+// vcolCompare orders two values of same-kind columns with
+// store.Compare semantics: NULLs first, then the typed order.
+func vcolCompare(a *vcol, i int, b *vcol, j int) int {
+	an := a.kind == store.KindNull || a.null(i)
+	bn := b.kind == store.KindNull || b.null(j)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	switch a.kind {
+	case store.KindInt:
+		x, y := a.ints[i], b.ints[j]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case store.KindFloat:
+		x, y := a.floats[i], b.floats[j]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case store.KindText:
+		x, y := a.strs[i], b.strs[j]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case store.KindBool:
+		x, y := a.bools[i], b.bools[j]
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+	}
+	return 0
+}
+
+func (s *Sort) vopen(ctx *Ctx) (viter, error) {
+	in, err := vecOpen(s.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var bufs []*colbuf
+	for {
+		b, err := in()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if bufs == nil {
+			bufs = make([]*colbuf, len(b.cols))
+			for c := range b.cols {
+				bufs[c] = newColbuf(b.cols[c].kind)
+			}
+		}
+		b.forSel(func(i int) {
+			for c := range bufs {
+				bufs[c].push(&b.cols[c], i)
+			}
+		})
+	}
+	if bufs == nil || bufs[0].len() == 0 {
+		return func() (*vbatch, error) { return nil, nil }, nil
+	}
+	cols := make([]vcol, len(bufs))
+	for c := range bufs {
+		cols[c] = bufs[c].col()
+	}
+	total := bufs[0].len()
+	perm := make([]int32, total)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	keep := s.Keep
+	sort.SliceStable(perm, func(x, y int) bool {
+		a, b := int(perm[x]), int(perm[y])
+		for k := range s.Keys {
+			kc := &cols[keep+k]
+			c := vcolCompare(kc, a, kc, b)
+			if c == 0 {
+				continue
+			}
+			if s.Keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := &vbatch{n: total, cols: make([]vcol, keep)}
+	for c := 0; c < keep; c++ {
+		out.cols[c] = gatherCol(&cols[c], perm)
+	}
+	done := false
+	return func() (*vbatch, error) {
+		if done {
+			return nil, nil
+		}
+		done = true
+		return out, nil
+	}, nil
+}
+
+// ---- limit ----
+
+func (l *Limit) vopen(ctx *Ctx) (viter, error) {
+	if l.N <= 0 {
+		return func() (*vbatch, error) { return nil, nil }, nil
+	}
+	in, err := vecOpen(l.In, ctx)
+	if err != nil {
+		return nil, err
+	}
+	left := l.N
+	return func() (*vbatch, error) {
+		if left <= 0 {
+			return nil, nil
+		}
+		b, err := in()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		r := b.rows()
+		if r <= left {
+			left -= r
+			return b, nil
+		}
+		// Truncate the final batch to the remaining budget.
+		if b.sel != nil {
+			b.sel = b.sel[:left]
+		} else {
+			sel := make([]int32, left)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			b.sel = sel
+		}
+		left = 0
+		return b, nil
+	}, nil
+}
+
+// ---- exchange ----
+
+// vopen runs the exchange's subtree vectorized: morsels hand each
+// worker a contiguous batch range of the partitioned leaf (an id range
+// for index scans), workers drain their vectorized pipelines, and the
+// merged stream concatenates morsel outputs in order — identical rows
+// to the serial vectorized plan, which is itself identical to the
+// serial row plan.
+func (e *Exchange) vopen(ctx *Ctx) (viter, error) {
+	workers := e.Workers
+	if ctx.Par > 0 && ctx.Par < workers {
+		workers = ctx.Par
+	}
+	rows, ids, _, err := baseRows(e.part, ctx)
+	if err != nil {
+		return nil, err
+	}
+	total := len(rows)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		return vecOpen(e.In, ctx)
+	}
+	morsel := (total + workers*4 - 1) / (workers * 4)
+	nm := (total + morsel - 1) / morsel
+
+	outs := make([][]*vbatch, nm)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nm || failed.Load() {
+					return
+				}
+				lo, hi := m*morsel, (m+1)*morsel
+				if hi > total {
+					hi = total
+				}
+				wctx := *ctx
+				wctx.scratch = nil
+				mr := &morselRun{node: e.part, rows: rows[lo:hi], lo: lo, hi: hi}
+				if ids != nil {
+					mr.ids = ids[lo:hi]
+				}
+				wctx.part = mr
+				op, err := vecOpen(e.In, &wctx)
+				if err == nil {
+					var batches []*vbatch
+					for {
+						b, berr := op()
+						if berr != nil {
+							err = berr
+							break
+						}
+						if b == nil {
+							break
+						}
+						batches = append(batches, b)
+					}
+					if err == nil {
+						outs[m] = batches
+						continue
+					}
+				}
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	mi, bi := 0, 0
+	return func() (*vbatch, error) {
+		for mi < len(outs) {
+			if bi < len(outs[mi]) {
+				b := outs[mi][bi]
+				bi++
+				return b, nil
+			}
+			mi++
+			bi = 0
+		}
+		return nil, nil
+	}, nil
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// This file is the columnar face of the store: per-column typed
+// vectors with null bitmaps, built once per data version and shared
+// read-only by the vectorized executor (internal/plan). The row slice
+// stays the source of truth — columns are a derived, cached layout, so
+// the single-writer mutation contract is unchanged.
+
+// Bitmap is a bitset over row ids, the null mask of a column vector.
+// The nil Bitmap reports every bit clear, so columns without NULLs
+// carry no mask at all.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap with capacity for n bits, all clear.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Set sets bit i. The bitmap must have been sized to cover i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports bit i; the nil bitmap is all-clear.
+func (b Bitmap) Get(i int) bool {
+	if b == nil {
+		return false
+	}
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// AnyRange reports whether any bit in [lo, hi) is set.
+func (b Bitmap) AnyRange(lo, hi int) bool {
+	if b == nil {
+		return false
+	}
+	for i := lo; i < hi; i++ {
+		if b.Get(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// ColVec is one column of a table laid out as a typed vector: exactly
+// one of the data slices is populated according to Kind, and Nulls
+// marks NULL cells (whose data slots hold zero values). Coercion at
+// insert time guarantees a column holds a single kind: INT values
+// widen to FLOAT on their way into FLOAT columns.
+type ColVec struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  Bitmap // nil when the column holds no NULLs
+}
+
+// Len returns the number of rows in the vector.
+func (c *ColVec) Len() int {
+	switch c.Kind {
+	case KindInt:
+		return len(c.Ints)
+	case KindFloat:
+		return len(c.Floats)
+	case KindText:
+		return len(c.Strs)
+	case KindBool:
+		return len(c.Bools)
+	}
+	return 0
+}
+
+// IsNull reports whether row i is NULL.
+func (c *ColVec) IsNull(i int) bool { return c.Nulls.Get(i) }
+
+// Value boxes row i back into a Value.
+func (c *ColVec) Value(i int) Value {
+	if c.Nulls.Get(i) {
+		return Null()
+	}
+	switch c.Kind {
+	case KindInt:
+		return Int(c.Ints[i])
+	case KindFloat:
+		return Float(c.Floats[i])
+	case KindText:
+		return Text(c.Strs[i])
+	case KindBool:
+		return Bool(c.Bools[i])
+	}
+	return Null()
+}
+
+// NullMask materializes the null mask of rows [lo, hi) as a bool
+// slice, or nil when the range holds no NULLs — the form the batch
+// executor consumes.
+func (c *ColVec) NullMask(lo, hi int) []bool {
+	if !c.Nulls.AnyRange(lo, hi) {
+		return nil
+	}
+	mask := make([]bool, hi-lo)
+	for i := range mask {
+		mask[i] = c.Nulls.Get(lo + i)
+	}
+	return mask
+}
+
+// KindOfColType maps a schema column type to the Value kind its cells
+// are stored as.
+func KindOfColType(t schema.ColType) Kind {
+	switch t {
+	case schema.Int:
+		return KindInt
+	case schema.Float:
+		return KindFloat
+	case schema.Text:
+		return KindText
+	case schema.Bool:
+		return KindBool
+	}
+	return KindNull
+}
+
+// colCache is the lazily-built columnar snapshot of a table, keyed by
+// the table's data version.
+type colCache struct {
+	mu   sync.Mutex
+	ver  uint64
+	ok   bool
+	cols []*ColVec
+}
+
+// ColVecs returns the table's columnar layout: one typed vector per
+// schema column, built lazily and cached until the next mutation.
+// Concurrent readers share one snapshot; mutation is single-writer by
+// the store's contract, so a version check suffices for invalidation.
+func (t *Table) ColVecs() []*ColVec {
+	t.colsCache.mu.Lock()
+	defer t.colsCache.mu.Unlock()
+	ver := t.version.Load()
+	if t.colsCache.ok && t.colsCache.ver == ver {
+		return t.colsCache.cols
+	}
+	cols := make([]*ColVec, len(t.Meta.Columns))
+	n := len(t.rows)
+	for ci, mc := range t.Meta.Columns {
+		cv := &ColVec{Kind: KindOfColType(mc.Type)}
+		switch cv.Kind {
+		case KindInt:
+			cv.Ints = make([]int64, n)
+		case KindFloat:
+			cv.Floats = make([]float64, n)
+		case KindText:
+			cv.Strs = make([]string, n)
+		case KindBool:
+			cv.Bools = make([]bool, n)
+		}
+		for i, row := range t.rows {
+			v := row[ci]
+			if v.IsNull() {
+				if cv.Nulls == nil {
+					cv.Nulls = NewBitmap(n)
+				}
+				cv.Nulls.Set(i)
+				continue
+			}
+			switch cv.Kind {
+			case KindInt:
+				cv.Ints[i] = v.Int64()
+			case KindFloat:
+				f, _ := v.AsFloat()
+				cv.Floats[i] = f
+			case KindText:
+				cv.Strs[i] = v.Str()
+			case KindBool:
+				cv.Bools[i] = v.BoolVal()
+			}
+		}
+		cols[ci] = cv
+	}
+	t.colsCache.ver = ver
+	t.colsCache.ok = true
+	t.colsCache.cols = cols
+	return cols
+}

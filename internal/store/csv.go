@@ -55,30 +55,34 @@ func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
 		}
 	}
 
-	n := 0
+	// Parse every record first, then append through the bulk path: any
+	// pre-existing indexes are rebuilt once after the load instead of
+	// being maintained per row (per-row ordered-index maintenance made
+	// large CSV loads O(n²)).
+	var rows []Row
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("store: reading %s row %d: %w", table, n+2, err)
+			return 0, fmt.Errorf("store: reading %s row %d: %w", table, len(rows)+2, err)
 		}
-		vals := make([]Value, len(cols))
+		vals := make(Row, len(cols))
 		for hi, cell := range rec {
 			v, err := parseCell(cell, cols[perm[hi]].Type)
 			if err != nil {
-				return n, fmt.Errorf("store: %s row %d column %s: %w",
-					table, n+2, cols[perm[hi]].Name, err)
+				return 0, fmt.Errorf("store: %s row %d column %s: %w",
+					table, len(rows)+2, cols[perm[hi]].Name, err)
 			}
 			vals[perm[hi]] = v
 		}
-		if err := t.Insert(vals...); err != nil {
-			return n, err
-		}
-		n++
+		rows = append(rows, vals)
 	}
-	return n, nil
+	if err := t.BulkInsert(rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
 }
 
 func parseCell(cell string, want schema.ColType) (Value, error) {

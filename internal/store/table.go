@@ -20,6 +20,8 @@ type Table struct {
 	version atomic.Uint64               // bumped per mutation; see DB.DataVersion
 	statsMu sync.Mutex
 	stats   map[string]ColStats // column -> cached statistics; see Stats
+
+	colsCache colCache // lazily-built columnar layout; see ColVecs
 }
 
 // NewTable creates an empty table for the given schema table.
@@ -86,6 +88,54 @@ func (t *Table) Insert(vals ...Value) error {
 		copy(ids[pos+1:], ids[pos:])
 		ids[pos] = id
 		t.ord[col] = ids
+	}
+	t.invalidateStats()
+	t.version.Add(1)
+	return nil
+}
+
+// BulkInsert appends many rows with index maintenance deferred: rows
+// are validated and coerced like Insert, but hash and ordered indexes
+// are rebuilt once at the end instead of per row. Per-row ordered-index
+// maintenance is O(n) per insert (O(n²) for a load); the deferred
+// rebuild is one O(n log n) sort per index. Loaders (store/csv,
+// internal/dataset) should prefer this for anything beyond a handful
+// of rows.
+func (t *Table) BulkInsert(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Validate and coerce every row before touching the table, so a
+	// mid-batch error leaves no partial mutation behind (Insert gives
+	// the same guarantee per row).
+	staged := make([]Row, len(rows))
+	for ri, vals := range rows {
+		if len(vals) != len(t.Meta.Columns) {
+			return fmt.Errorf("store: table %s expects %d values, got %d",
+				t.Meta.Name, len(t.Meta.Columns), len(vals))
+		}
+		row := make(Row, len(vals))
+		for i, v := range vals {
+			coerced, err := coerce(v, t.Meta.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("store: table %s column %s: %w",
+					t.Meta.Name, t.Meta.Columns[i].Name, err)
+			}
+			row[i] = coerced
+		}
+		staged[ri] = row
+	}
+	t.rows = append(t.rows, staged...)
+	// Rebuild whatever indexes already exist, once.
+	for col := range t.hash {
+		if err := t.BuildIndex(col); err != nil {
+			return err
+		}
+	}
+	for col := range t.ord {
+		if err := t.BuildOrderedIndex(col); err != nil {
+			return err
+		}
 	}
 	t.invalidateStats()
 	t.version.Add(1)
@@ -181,6 +231,24 @@ func (db *DB) Insert(table string, vals ...Value) error {
 		return fmt.Errorf("store: unknown table %s", table)
 	}
 	return t.Insert(vals...)
+}
+
+// BulkInsert adds many rows to the named table with index maintenance
+// deferred (see Table.BulkInsert).
+func (db *DB) BulkInsert(table string, rows []Row) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("store: unknown table %s", table)
+	}
+	return t.BulkInsert(rows)
+}
+
+// MustBulkInsert is BulkInsert panicking on error, for dataset
+// builders whose data is statically known to be well-typed.
+func (db *DB) MustBulkInsert(table string, rows []Row) {
+	if err := db.BulkInsert(table, rows); err != nil {
+		panic(err)
+	}
 }
 
 // MustInsert is Insert panicking on error, for dataset builders whose

@@ -121,24 +121,40 @@ func (v Value) String() string {
 }
 
 // Key returns a canonical map key for hashing/grouping. Numeric values
-// that are equal (1 and 1.0) share a key.
+// that are equal (1 and 1.0) share a key: integers format via
+// FormatInt (exact, no float round-trip), and a float that holds an
+// integral value in int64 range formats the same way — which also
+// folds -0.0 onto 0.0, keeping Key equality consistent with Compare.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the canonical key bytes of v to buf and returns
+// the extended slice — the allocation-free form of Key for composite
+// key builders with a reusable scratch buffer.
+func (v Value) AppendKey(buf []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(buf, '\x00', 'N')
 	case KindInt:
-		return "\x01" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		return strconv.AppendInt(append(buf, '\x01'), v.i, 10)
 	case KindFloat:
-		return "\x01" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		buf = append(buf, '\x01')
+		// An integral float in int64 range converts exactly; format it
+		// like the equal integer so 1 and 1.0 share a key.
+		if v.f == float64(int64(v.f)) {
+			return strconv.AppendInt(buf, int64(v.f), 10)
+		}
+		return strconv.AppendFloat(buf, v.f, 'g', -1, 64)
 	case KindText:
-		return "\x02" + v.s
+		return append(append(buf, '\x02'), v.s...)
 	case KindBool:
 		if v.b {
-			return "\x03t"
+			return append(buf, '\x03', 't')
 		}
-		return "\x03f"
+		return append(buf, '\x03', 'f')
 	}
-	return ""
+	return buf
 }
 
 // Compare orders two values: NULL first, then numerics (cross-kind),
@@ -147,6 +163,18 @@ func (v Value) Key() string {
 func Compare(a, b Value) int {
 	an, bn := a.IsNumeric(), b.IsNumeric()
 	if an && bn {
+		// Same-kind integers compare exactly, with no float round-trip
+		// (which collapses distinct values beyond 2^53) — this keeps
+		// Compare consistent with Key equality for integers.
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			}
+			return 0
+		}
 		af, _ := a.AsFloat()
 		bf, _ := b.AsFloat()
 		switch {

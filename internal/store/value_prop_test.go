@@ -1,0 +1,121 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genValues builds a deterministic mixed-kind value population:
+// NULLs, integers and floats (within ±2^53, where int/float numeric
+// equality is exact), texts and bools, including adversarial numeric
+// pairs (equal int/float, -0.0, boundary values).
+func genValues() []Value {
+	rng := rand.New(rand.NewSource(42))
+	vals := []Value{
+		Null(),
+		Int(0), Float(0), Float(math.Copysign(0, -1)), // -0.0 folds onto 0
+		Int(1), Float(1), Int(-1), Float(-1),
+		Int(7), Float(7.0), Float(7.5), Float(-7.5),
+		Int(1 << 52), Float(1 << 52),
+		Int(-(1 << 52)), Float(-(1 << 52)),
+		Text(""), Text("a"), Text("ab"), Text("b"), Text("Ab"),
+		Bool(true), Bool(false),
+	}
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			vals = append(vals, Int(rng.Int63n(1<<53)-(1<<52)))
+		case 1:
+			vals = append(vals, Float((rng.Float64()-0.5)*1e6))
+		case 2:
+			vals = append(vals, Text(fmt.Sprintf("s%d", rng.Intn(20))))
+		default:
+			vals = append(vals, Bool(rng.Intn(2) == 0))
+		}
+	}
+	return vals
+}
+
+// TestCompareTotalOrder: Compare must be a total order — reflexive,
+// antisymmetric, transitive — over mixed kinds.
+func TestCompareTotalOrder(t *testing.T) {
+	vals := genValues()
+	for _, a := range vals {
+		if Compare(a, a) != 0 {
+			t.Errorf("Compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("Compare(%v, %v) not antisymmetric", a, b)
+			}
+			for _, c := range vals {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Errorf("Compare not transitive: %v <= %v <= %v but %v > %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareConsistentWithKey: two values compare equal exactly when
+// their canonical keys are equal (within the ±2^53 range where
+// int/float numeric identity is exact) — the property the typed hash
+// keys of the vectorized executor rely on.
+func TestCompareConsistentWithKey(t *testing.T) {
+	vals := genValues()
+	for _, a := range vals {
+		for _, b := range vals {
+			cmpEq := Compare(a, b) == 0
+			keyEq := a.Key() == b.Key()
+			if cmpEq != keyEq {
+				t.Errorf("Compare(%v, %v)==0 is %v but Key equality is %v (keys %q, %q)",
+					a, b, cmpEq, keyEq, a.Key(), b.Key())
+			}
+		}
+	}
+}
+
+// TestKeyIntFloatEquality pins the numeric key canon: equal int/float
+// numerics share a key, int keys format exactly (no float round-trip),
+// and -0.0 folds onto 0.0.
+func TestKeyIntFloatEquality(t *testing.T) {
+	cases := []struct {
+		a, b  Value
+		equal bool
+	}{
+		{Int(1), Float(1.0), true},
+		{Int(0), Float(math.Copysign(0, -1)), true},
+		{Int(7), Float(7.5), false},
+		{Int(1 << 52), Float(1 << 52), true},
+		{Int(123456789), Int(123456789), true},
+		{Float(0.5), Float(0.5), true},
+		{Int(1), Text("1"), false},
+		{Bool(true), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Key() == c.b.Key(); got != c.equal {
+			t.Errorf("Key(%v) == Key(%v): got %v want %v (%q vs %q)",
+				c.a, c.b, got, c.equal, c.a.Key(), c.b.Key())
+		}
+	}
+	// Large integers format exactly: adjacent ints must never collide
+	// (the pre-fix float64 round-trip collapsed them).
+	big := int64(1<<60 + 1)
+	if Int(big).Key() == Int(big+1).Key() {
+		t.Errorf("adjacent large int keys collide: %q", Int(big).Key())
+	}
+}
+
+// TestAppendKeyMatchesKey: the allocation-free AppendKey form must
+// produce exactly the Key bytes.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	var buf []byte
+	for _, v := range genValues() {
+		buf = v.AppendKey(buf[:0])
+		if string(buf) != v.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key = %q", v, buf, v.Key())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package strutil
+
+// MatchLike implements SQL LIKE matching with % (any run of
+// characters) and _ (any single character), matching the whole
+// string, case-sensitively. Shared by the scalar evaluator
+// (internal/exec) and the vectorized LIKE kernel (internal/plan).
+func MatchLike(s, p string) bool {
+	// Iterative two-pointer algorithm with backtracking on %.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			sBack++
+			si = sBack
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
