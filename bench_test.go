@@ -8,6 +8,7 @@ package nli
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/semindex"
 	"repro/internal/sql"
+	"repro/internal/store"
 )
 
 // BenchmarkT1Accuracy regenerates the per-class accuracy table for the
@@ -436,6 +438,71 @@ func BenchmarkAskCachedMixed(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(hits)/float64(b.N), "hit-ratio")
+}
+
+// BenchmarkF8ConcurrentReadWrite measures read latency with and
+// without a concurrent bulk loader publishing into another table of
+// the same database — the F8 experiment's regression gate. Snapshot
+// isolation pins every query to one immutable version, so the
+// under-load number must not collapse relative to quiescent (the
+// experiment's bar is 2x), and results stay exact: the COUNT is
+// verified on every iteration.
+func BenchmarkF8ConcurrentReadWrite(b *testing.B) {
+	mkDB := func() *DB { return dataset.University(2) }
+	query := sql.MustParse("SELECT AVG(gpa), COUNT(*) FROM students WHERE gpa > 2.5")
+	check := func(b *testing.B, res *exec.Result) {
+		b.Helper()
+		if len(res.Rows) != 1 || res.Rows[0][1].IsNull() {
+			b.Fatalf("bad result %+v", res.Rows)
+		}
+	}
+
+	b.Run("quiescent", func(b *testing.B) {
+		db := mkDB()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := exec.Query(db, query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, res)
+		}
+	})
+
+	b.Run("under-bulk-load", func(b *testing.B) {
+		db := mkDB()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := make([]store.Row, 128)
+				for i := range rows {
+					rows[i] = store.Row{store.Int(int64(i)), store.Int(int64(i % 97)), store.Text("B")}
+				}
+				db.MustBulkInsert("enrollments", rows)
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := exec.Query(db, query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, res)
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }
 
 // BenchmarkF5PlanShapes measures plan compilation over the full gold

@@ -9,76 +9,114 @@ import (
 	"repro/internal/strutil"
 )
 
+// tableDep records one table an answer depends on and the version it
+// was read at — the validity fingerprint of a cache entry.
+type tableDep struct {
+	Table   string
+	Version uint64
+}
+
+// cacheEntry is one memoized answer plus the exact per-table versions
+// it was computed against.
+type cacheEntry struct {
+	ans  *Answer
+	deps []tableDep
+}
+
 // answerCache memoizes complete answers by their corrected-token key
 // so repeated hot questions skip the whole pipeline — the serving-path
-// counterpart of the per-query plan and subquery caches. Entries are
-// valid for exactly one store data version: the first lookup after any
-// mutation flushes the cache wholesale, which is the only sound policy
-// when any insert can change any answer. The cache is safe for
-// concurrent lookups and stores (high-QPS serving shares one engine).
+// counterpart of the per-query plan and subquery caches. Invalidation
+// is per table, not wholesale: each entry carries the versions of
+// exactly the tables its query read (including subquery tables), and
+// stays valid while those tables are unchanged. A write to one table
+// therefore leaves every answer over other tables hot — the property
+// that keeps the cache useful on a live, continuously-loaded store.
+// The cache is safe for concurrent lookups and stores (high-QPS
+// serving shares one engine).
 type answerCache struct {
 	mu      sync.Mutex
 	size    int
-	version uint64
-	entries map[string]*Answer
+	entries map[string]*cacheEntry
 }
 
 func newAnswerCache(size int) *answerCache {
-	return &answerCache{size: size, entries: make(map[string]*Answer)}
+	return &answerCache{size: size, entries: make(map[string]*cacheEntry)}
 }
 
-// lookup returns the cached answer for key at the given data version,
-// or nil. A reader at a *newer* version than the cache means the data
-// moved: flush and advance. A reader at an *older* version (sampled
-// its version, then got descheduled past an insert) just misses — it
-// must not wipe entries other requests rebuilt at the newer version,
-// nor drag c.version backwards.
-func (c *answerCache) lookup(key string, version uint64) *Answer {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if version > c.version {
-		c.entries = make(map[string]*Answer)
-		c.version = version
-		return nil
-	}
-	if version < c.version {
-		return nil
-	}
-	return c.entries[key]
-}
-
-// store records a successful answer computed at the given data
-// version. A writer that read an older version than the cache has
-// already advanced to is dropped — its answer is stale, and flushing
-// fresh entries for it would regress the version and thrash the
-// cache. When full, an arbitrary entry is evicted — hot questions
-// re-enter on their next ask, and the bound is what matters.
-func (c *answerCache) store(key string, version uint64, ans *Answer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if version < c.version {
-		return
-	}
-	if version > c.version {
-		c.entries = make(map[string]*Answer)
-		c.version = version
-	}
-	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.size {
-		for k := range c.entries {
-			delete(c.entries, k)
-			break
+// stale reports whether any dependency table has moved past the
+// version the entry was computed at. A stale entry can never become
+// valid again (versions are monotonic).
+func (e *cacheEntry) stale(current func(table string) uint64) bool {
+	for _, d := range e.deps {
+		if current(d.Table) != d.Version {
+			return true
 		}
 	}
-	c.entries[key] = ans
+	return false
 }
 
-// snapshot is the defensive copy an answer crosses the cache boundary
-// as — in both directions. The struct is copied and the result rows
-// are cloned, so a caller sorting or rewriting the rows of its answer
-// cannot poison the cached entry, and vice versa. Interpretation
-// structures (Query, SQL, Plan, Ranked) stay shared: they are
-// treated as immutable once the answer is built.
-func snapshot(ans *Answer) *Answer {
+// lookup returns the cached answer for key if every table it depends
+// on is still at the version the answer was computed at, per current.
+// A stale entry is evicted on sight.
+func (c *answerCache) lookup(key string, current func(table string) uint64) *Answer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	if e.stale(current) {
+		delete(c.entries, key)
+		return nil
+	}
+	return e.ans
+}
+
+// store records a successful answer with its dependency fingerprint.
+// Entries racing with writers are harmless: if the data moved between
+// pin and store, the recorded versions are already stale and the next
+// lookup evicts the entry instead of serving it. When full, an
+// already-stale entry is evicted first (stale entries otherwise die
+// only when their own question is re-asked, and must not crowd out
+// live ones), falling back to an arbitrary victim — hot questions
+// re-enter on their next ask, and the bound is what matters.
+func (c *answerCache) store(key string, deps []tableDep, ans *Answer, current func(table string) uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.size {
+		victim := ""
+		for k, e := range c.entries {
+			if victim == "" {
+				victim = k
+			}
+			if e.stale(current) {
+				victim = k
+				break
+			}
+		}
+		delete(c.entries, victim)
+	}
+	c.entries[key] = &cacheEntry{ans: ans, deps: deps}
+}
+
+// snapshotDeps builds the dependency fingerprint of an answer: the
+// tables its SQL reads, each at the version pinned by the snapshot the
+// answer was executed on.
+func snapshotDeps(tables []string, sn *store.Snapshot) []tableDep {
+	deps := make([]tableDep, len(tables))
+	for i, name := range tables {
+		deps[i] = tableDep{Table: name, Version: sn.TableVersion(name)}
+	}
+	return deps
+}
+
+// snapshotAnswer is the defensive copy an answer crosses the cache
+// boundary as — in both directions. The struct is copied and the
+// result rows are cloned, so a caller sorting or rewriting the rows of
+// its answer cannot poison the cached entry, and vice versa.
+// Interpretation structures (Query, SQL, Plan, Ranked) stay shared:
+// they are treated as immutable once the answer is built.
+func snapshotAnswer(ans *Answer) *Answer {
 	cp := *ans
 	if ans.Result != nil {
 		res := &exec.Result{

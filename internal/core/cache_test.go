@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+// TestAnswerCacheEvictionGranularity: invalidation is per table. A
+// cached answer survives writes to tables its query never reads and
+// dies the moment one of its dependency tables changes — the write-
+// locality property that keeps a shared engine's cache hot while
+// loaders stream into unrelated tables.
+func TestAnswerCacheEvictionGranularity(t *testing.T) {
+	e := uniEngine(t)
+	q := "students with gpa over 3.5"
+	first, err := e.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := map[string]bool{}
+	for _, name := range sql.Tables(first.SQL) {
+		deps[name] = true
+	}
+	if !deps["students"] {
+		t.Fatalf("test premise broken: %q does not read students (deps %v)", q, deps)
+	}
+	if deps["enrollments"] {
+		t.Fatalf("test premise broken: %q reads enrollments", q)
+	}
+
+	// A write to a table outside the dependency set leaves the entry hot.
+	if err := e.DB.Insert("enrollments", store.Int(1), store.Int(1), store.Text("A")); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := e.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hot.Cached {
+		t.Error("write to an unrelated table evicted the cached answer")
+	}
+
+	// A write to a dependency table evicts exactly this entry.
+	id := int64(e.DB.Table("students").Len() + 1)
+	if err := e.DB.Insert("students",
+		store.Int(id), store.Text("Grace Hopper"), store.Int(1),
+		store.Int(4), store.Float(3.97)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := e.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Error("write to a dependency table did not evict the cached answer")
+	}
+	if len(fresh.Result.Rows) != len(first.Result.Rows)+1 {
+		t.Errorf("fresh ask missed the inserted row: %d rows, want %d",
+			len(fresh.Result.Rows), len(first.Result.Rows)+1)
+	}
+}
+
+// TestAnswerCacheDepsCoverSubqueries: the dependency fingerprint walks
+// into subqueries, so a cached answer is also evicted by writes that
+// only affect a nested SELECT's table.
+func TestAnswerCacheDepsCoverSubqueries(t *testing.T) {
+	stmt := sql.MustParse(
+		"SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE grade = 'A')")
+	got := sql.Tables(stmt)
+	want := []string{"enrollments", "students"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("sql.Tables = %v, want %v", got, want)
+	}
+}
+
+// TestConversationsKeepAnsweringMidLoad: dialogue turns pin their own
+// snapshots, so a conversation keeps producing consistent answers
+// while a bulk loader streams rows into the tables it is asking
+// about. Batches insert students four at a time with gpa 3.9, so on
+// any single snapshot the count of matching students moves in steps —
+// never between them.
+func TestConversationsKeepAnsweringMidLoad(t *testing.T) {
+	e := uniEngine(t)
+	base, err := e.Ask("how many students with gpa over 3.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseN := answerCount(t, base)
+
+	const batches, per = 12, 4
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := int64(e.DB.Table("students").Len() + 1)
+		for b := 0; b < batches; b++ {
+			rows := make([]store.Row, per)
+			for i := range rows {
+				rows[i] = store.Row{store.Int(next), store.Text("Load Test"),
+					store.Int(1), store.Int(4), store.Float(3.9)}
+				next++
+			}
+			if err := e.DB.BulkInsert("students", rows); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	conv := e.NewConversation()
+	for i := 0; ; i++ {
+		ans, _, err := conv.Ask("how many students with gpa over 3.8")
+		if err != nil {
+			t.Fatalf("turn %d failed mid-load: %v", i, err)
+		}
+		if n := answerCount(t, ans); (n-baseN)%per != 0 {
+			t.Fatalf("turn %d saw a torn batch: %d matching students (base %d)", i, n, baseN)
+		}
+		select {
+		case <-done:
+			ans, _, err := conv.Ask("how many students with gpa over 3.8")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := answerCount(t, ans); n != baseN+batches*per {
+				t.Fatalf("final turn saw %d matching students, want %d", n, baseN+batches*per)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func answerCount(t *testing.T, ans *Answer) int {
+	t.Helper()
+	if ans.Result == nil || len(ans.Result.Rows) != 1 {
+		t.Fatalf("expected a single count row, got %+v", ans.Result)
+	}
+	f, ok := ans.Result.Rows[0][0].AsFloat()
+	if !ok {
+		t.Fatalf("count cell is not numeric: %v", ans.Result.Rows[0][0])
+	}
+	return int(f)
+}

@@ -193,19 +193,20 @@ func (e *Engine) Interpret(question string) (*Answer, error) {
 }
 
 // Ask answers a question end to end. Repeated questions whose
-// corrected tokens match a cached entry at the current store data
-// version skip the whole pipeline.
+// corrected tokens match a cached entry — one whose dependency tables
+// are all unchanged — skip the whole pipeline; writes to unrelated
+// tables leave entries hot. A miss pins one store snapshot for
+// planning and execution, so the answer is computed over a single
+// consistent data version even while writers are active.
 func (e *Engine) Ask(question string) (*Answer, error) {
 	total := time.Now()
 	toks, fixes, correct := e.correctTokens(question)
 
 	var key string
-	var version uint64
 	if e.cache != nil {
 		key = cacheKey(toks)
-		version = e.DB.DataVersion()
-		if hit := e.cache.lookup(key, version); hit != nil {
-			ans := snapshot(hit)
+		if hit := e.cache.lookup(key, e.DB.TableVersion); hit != nil {
+			ans := snapshotAnswer(hit)
 			ans.Question = question
 			ans.Corrections = fixes // this ask's repairs, not the cached ask's
 			ans.Cached = true
@@ -218,22 +219,24 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 	if err != nil {
 		return ans, err
 	}
-	if err := e.execute(ans, stmt, &tm); err != nil {
+	sn := e.DB.Snapshot()
+	if err := e.execute(ans, stmt, sn, &tm); err != nil {
 		return ans, err
 	}
 	tm.Total = time.Since(total)
 	ans.Timings = tm
 	if e.cache != nil {
-		e.cache.store(key, version, snapshot(ans))
+		e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), snapshotAnswer(ans), e.DB.TableVersion)
 	}
 	return ans, nil
 }
 
-// execute plans stmt at the engine's parallelism degree, runs it and
-// verbalizes the result into ans, filling the plan/execute timings.
-func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, tm *Timings) error {
+// execute plans stmt at the engine's parallelism degree against the
+// pinned snapshot, runs it on that same snapshot and verbalizes the
+// result into ans, filling the plan/execute timings.
+func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, tm *Timings) error {
 	start := time.Now()
-	p, err := exec.BuildPlanParallel(e.DB, stmt, e.opts.Parallelism)
+	p, err := exec.BuildPlanParallelAt(sn, stmt, e.opts.Parallelism)
 	tm.Plan = time.Since(start)
 	if err != nil {
 		return fmt.Errorf("core: planning %q: %w", stmt, err)
@@ -241,7 +244,7 @@ func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, tm *Timings) error {
 	ans.Plan = p
 
 	start = time.Now()
-	res, err := exec.Run(e.DB, p)
+	res, err := exec.RunAt(sn, p)
 	tm.Execute = time.Since(start)
 	if err != nil {
 		return fmt.Errorf("core: executing %q: %w", stmt, err)
@@ -289,7 +292,10 @@ func (c *Conversation) Context() *iql.Query {
 // executes it. The returned Answer notes whether context was used, and
 // carries the same corrections and per-stage timings a single-shot
 // Engine.Ask reports: corrected tokens flow into the dialogue parser
-// directly (no lossy string round-trip) and each stage is timed.
+// directly (no lossy string round-trip) and each stage is timed. Each
+// turn executes against its own pinned store snapshot, so a
+// conversation keeps answering consistently while a bulk load runs —
+// later turns simply observe later versions.
 func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -312,7 +318,7 @@ func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 	}
 	ans.SQL = stmt
 
-	if err := c.e.execute(ans, stmt, &tm); err != nil {
+	if err := c.e.execute(ans, stmt, c.e.DB.Snapshot(), &tm); err != nil {
 		ans.Timings = tm
 		return ans, turn.FollowUp, err
 	}

@@ -339,7 +339,7 @@ func (ex *executor) correlated(sub *sql.SelectStmt, f *plan.Frame) bool {
 	stmtCorrelated = func(s *sql.SelectStmt, scopes []map[string]*schema.Table) bool {
 		local := map[string]*schema.Table{}
 		for _, t := range s.From {
-			if tab := ex.db.Table(t.Table); tab != nil {
+			if tab := ex.sn.Table(t.Table); tab != nil {
 				local[t.Name()] = tab.Meta
 			} else {
 				local[t.Name()] = nil

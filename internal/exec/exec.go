@@ -33,48 +33,75 @@ type Result struct {
 
 // Query evaluates stmt against db through the planning layer,
 // serially — the reproducible single-worker path every differential
-// baseline compares against.
+// baseline compares against. A snapshot of the database is pinned for
+// the whole query (planning, execution, every subquery): concurrent
+// writers never change what an in-flight query sees.
 func Query(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
-	p, err := plan.Compile(db, stmt)
+	return QueryAt(db.Snapshot(), stmt)
+}
+
+// QueryAt is Query against an already-pinned snapshot — the form used
+// when the caller needs several operations to observe the same data
+// version (the engine pins once per ask).
+func QueryAt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Result, error) {
+	p, err := plan.Compile(sn, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return Run(db, p)
+	return RunAt(sn, p)
 }
 
 // QueryParallel evaluates stmt with intra-query parallelism at degree
 // par; par <= 1 is exactly Query. Results are row-for-row identical to
 // the serial path (the exchange operator merges worker outputs in
-// morsel order).
+// morsel order). Like Query, the whole run is pinned to one snapshot.
 func QueryParallel(db *store.DB, stmt *sql.SelectStmt, par int) (*Result, error) {
-	p, err := BuildPlanParallel(db, stmt, par)
+	return QueryParallelAt(db.Snapshot(), stmt, par)
+}
+
+// QueryParallelAt is QueryParallel against an already-pinned snapshot.
+func QueryParallelAt(sn *store.Snapshot, stmt *sql.SelectStmt, par int) (*Result, error) {
+	p, err := BuildPlanParallelAt(sn, stmt, par)
 	if err != nil {
 		return nil, err
 	}
-	return Run(db, p)
+	return RunAt(sn, p)
 }
 
 // BuildPlan compiles stmt into an optimized plan without running it —
 // the seam core uses to time planning separately and surface the
 // chosen plan in answers.
 func BuildPlan(db *store.DB, stmt *sql.SelectStmt) (*plan.Plan, error) {
-	return plan.Compile(db, stmt)
+	return plan.Compile(db.Snapshot(), stmt)
 }
 
 // BuildPlanParallel compiles stmt and rewrites the plan for intra-query
 // parallelism at degree par (see plan.Parallelize for when the rewrite
 // declines).
 func BuildPlanParallel(db *store.DB, stmt *sql.SelectStmt, par int) (*plan.Plan, error) {
-	p, err := plan.Compile(db, stmt)
+	return BuildPlanParallelAt(db.Snapshot(), stmt, par)
+}
+
+// BuildPlanParallelAt is BuildPlanParallel against an already-pinned
+// snapshot.
+func BuildPlanParallelAt(sn *store.Snapshot, stmt *sql.SelectStmt, par int) (*plan.Plan, error) {
+	p, err := plan.Compile(sn, stmt)
 	if err != nil {
 		return nil, err
 	}
 	return plan.Parallelize(p, par), nil
 }
 
-// Run executes a compiled plan.
+// Run executes a compiled plan against a fresh snapshot of db.
 func Run(db *store.DB, p *plan.Plan) (*Result, error) {
-	return newExecutor(db).run(p, nil)
+	return RunAt(db.Snapshot(), p)
+}
+
+// RunAt executes a compiled plan against a pinned snapshot. To make
+// plan-time choices (index scans, estimates) and run-time data agree
+// exactly, pass the snapshot the plan was compiled on.
+func RunAt(sn *store.Snapshot, p *plan.Plan) (*Result, error) {
+	return newExecutor(sn).run(p, nil)
 }
 
 // QueryNoVec evaluates stmt with vectorized execution disabled
@@ -82,25 +109,37 @@ func Run(db *store.DB, p *plan.Plan) (*Result, error) {
 // baseline the vectorized differential tests and the F7 experiment
 // compare against. Results are row-for-row identical to Query.
 func QueryNoVec(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
-	p, err := plan.Compile(db, stmt)
+	return QueryNoVecAt(db.Snapshot(), stmt)
+}
+
+// QueryNoVecAt is QueryNoVec against an already-pinned snapshot.
+func QueryNoVecAt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Result, error) {
+	p, err := plan.Compile(sn, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return RunNoVec(db, p)
+	return RunNoVecAt(sn, p)
 }
 
 // QueryParallelNoVec is QueryParallel with vectorization disabled.
 func QueryParallelNoVec(db *store.DB, stmt *sql.SelectStmt, par int) (*Result, error) {
-	p, err := BuildPlanParallel(db, stmt, par)
+	sn := db.Snapshot()
+	p, err := BuildPlanParallelAt(sn, stmt, par)
 	if err != nil {
 		return nil, err
 	}
-	return RunNoVec(db, p)
+	return RunNoVecAt(sn, p)
 }
 
 // RunNoVec executes a compiled plan row-at-a-time.
 func RunNoVec(db *store.DB, p *plan.Plan) (*Result, error) {
-	ex := newExecutor(db)
+	return RunNoVecAt(db.Snapshot(), p)
+}
+
+// RunNoVecAt executes a compiled plan row-at-a-time against an
+// already-pinned snapshot.
+func RunNoVecAt(sn *store.Snapshot, p *plan.Plan) (*Result, error) {
+	ex := newExecutor(sn)
 	ex.noVec = true
 	return ex.run(p, nil)
 }
@@ -119,13 +158,16 @@ type subKey struct {
 
 // executor evaluates expressions for plan iterators and runs nested
 // subqueries, memoizing uncorrelated subquery results and compiled
-// subquery plans. Parallel plans call Eval/EvalGroup from multiple
-// exchange workers at once, so every cache access takes mu; the cached
-// values themselves are immutable once published. Two workers racing
-// on the same cold entry may both compute it — the duplicated work is
-// bounded and both insert identical results.
+// subquery plans. It holds the query's pinned snapshot: the outer
+// plan, every subquery plan and every subquery run read the same data
+// version, so a query's parts can never observe different writes.
+// Parallel plans call Eval/EvalGroup from multiple exchange workers at
+// once, so every cache access takes mu; the cached values themselves
+// are immutable once published. Two workers racing on the same cold
+// entry may both compute it — the duplicated work is bounded and both
+// insert identical results.
 type executor struct {
-	db        *store.DB
+	sn        *store.Snapshot
 	mu        sync.Mutex
 	subCache  map[subKey]*Result
 	planCache map[*sql.SelectStmt]*plan.Plan
@@ -134,9 +176,9 @@ type executor struct {
 	noVec     bool                     // force row-at-a-time execution (ablation)
 }
 
-func newExecutor(db *store.DB) *executor {
+func newExecutor(sn *store.Snapshot) *executor {
 	return &executor{
-		db:        db,
+		sn:        sn,
 		subCache:  map[subKey]*Result{},
 		planCache: map[*sql.SelectStmt]*plan.Plan{},
 		corrCache: map[*sql.SelectStmt]bool{},
@@ -144,7 +186,7 @@ func newExecutor(db *store.DB) *executor {
 }
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
-	rows, err := plan.Run(p, &plan.Ctx{DB: ex.db, Ev: ex, Parent: parent, NoVec: ex.noVec})
+	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent, NoVec: ex.noVec})
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +207,7 @@ func (ex *executor) selectStmt(stmt *sql.SelectStmt, parent *plan.Frame) (*Resul
 	ex.mu.Unlock()
 	if !ok {
 		var err error
-		p, err = plan.Compile(ex.db, stmt)
+		p, err = plan.Compile(ex.sn, stmt)
 		if err != nil {
 			return nil, err
 		}

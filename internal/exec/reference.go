@@ -17,9 +17,17 @@ import (
 // base-table equality prune. It exists as the differential-testing
 // baseline for the planner and as the yardstick its speedups are
 // measured against; subqueries encountered along the way also run
-// through this path.
+// through this path. Like Query, the whole evaluation is pinned to one
+// snapshot of the database.
 func ReferenceQuery(db *store.DB, stmt *sql.SelectStmt) (*Result, error) {
-	ex := newExecutor(db)
+	return ReferenceQueryAt(db.Snapshot(), stmt)
+}
+
+// ReferenceQueryAt is ReferenceQuery against an already-pinned
+// snapshot, the form the concurrency and metamorphic tests use to
+// compare executors over one frozen data version.
+func ReferenceQueryAt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Result, error) {
+	ex := newExecutor(sn)
 	ex.reference = true
 	return ex.referenceSelect(stmt, nil)
 }
@@ -50,7 +58,7 @@ func (ex *executor) buildRelation(stmt *sql.SelectStmt) (*matRel, error) {
 	var bindings []plan.Binding
 	seen := map[string]bool{}
 	for _, ref := range stmt.From {
-		tab := ex.db.Table(ref.Table)
+		tab := ex.sn.Table(ref.Table)
 		if tab == nil {
 			return nil, fmt.Errorf("exec: unknown table %q", ref.Table)
 		}
@@ -72,7 +80,7 @@ func (ex *executor) buildRelation(stmt *sql.SelectStmt) (*matRel, error) {
 	var mr *matRel
 	for _, bi := range order {
 		b := bindings[bi]
-		tab := ex.db.Table(b.Meta.Name)
+		tab := ex.sn.Table(b.Meta.Name)
 		if mr == nil {
 			b.Off = 0
 			mr = &matRel{
@@ -93,7 +101,7 @@ func (ex *executor) buildRelation(stmt *sql.SelectStmt) (*matRel, error) {
 // indexPrune narrows the base table's rows using a hash index when the
 // WHERE clause has a top-level "col = literal" conjunct on an indexed
 // column; the full predicate is re-applied afterwards.
-func indexPrune(tab *store.Table, name string, where sql.Expr) []store.Row {
+func indexPrune(tab *store.TableSnap, name string, where sql.Expr) []store.Row {
 	var walk func(sql.Expr) []store.Row
 	walk = func(e sql.Expr) []store.Row {
 		be, ok := e.(*sql.BinaryExpr)
@@ -183,7 +191,7 @@ func refJoinOrder(bindings []plan.Binding, conds []plan.EquiJoin) []int {
 
 // joinOne joins mr with table b, hash-joining when an extracted
 // equi-join connects them, and materializes the result.
-func joinOne(mr *matRel, b plan.Binding, tab *store.Table, conds []plan.EquiJoin) (*matRel, error) {
+func joinOne(mr *matRel, b plan.Binding, tab *store.TableSnap, conds []plan.EquiJoin) (*matRel, error) {
 	b.Off = mr.rel.Width
 	outRel := &plan.Rel{
 		Bindings: append(append([]plan.Binding{}, mr.rel.Bindings...), b),

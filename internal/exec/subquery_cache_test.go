@@ -33,7 +33,7 @@ func TestCorrelatedSubqueryNotCached(t *testing.T) {
 // FROM clause, and plain uncorrelated subqueries.
 func TestCorrelationDetection(t *testing.T) {
 	db := fixture(t)
-	ex := newExecutor(db)
+	ex := newExecutor(db.Snapshot())
 
 	outerPlan, err := BuildPlan(db, sql.MustParse("SELECT name FROM students s"))
 	if err != nil {
@@ -75,7 +75,7 @@ func TestUncorrelatedCacheReused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := newExecutor(db)
+	ex := newExecutor(db.Snapshot())
 	if _, err := ex.run(p, nil); err != nil {
 		t.Fatal(err)
 	}

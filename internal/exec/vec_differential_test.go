@@ -119,7 +119,7 @@ func TestVecFallback(t *testing.T) {
 	}
 	for _, q := range queries {
 		stmt := sql.MustParse(q)
-		p, err := plan.Compile(db, stmt)
+		p, err := plan.Compile(db.Snapshot(), stmt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestVecFallback(t *testing.T) {
 func TestVecExplainMarks(t *testing.T) {
 	db := dataset.University(1)
 
-	p, err := plan.Compile(db, sql.MustParse(
+	p, err := plan.Compile(db.Snapshot(), sql.MustParse(
 		"SELECT d.name, COUNT(*) FROM students s, departments d "+
 			"WHERE s.dept_id = d.dept_id AND s.gpa > 3.5 GROUP BY d.name"))
 	if err != nil {
@@ -161,7 +161,7 @@ func TestVecExplainMarks(t *testing.T) {
 		}
 	}
 
-	p, err = plan.Compile(db, sql.MustParse(
+	p, err = plan.Compile(db.Snapshot(), sql.MustParse(
 		"SELECT name FROM students WHERE dept_id IN (SELECT dept_id FROM departments)"))
 	if err != nil {
 		t.Fatal(err)

@@ -13,8 +13,8 @@ import (
 // one filter above the joins, then aggregate-or-project, distinct,
 // sort and limit. Optimize rewrites this tree; running it as-is
 // reproduces the pre-planner executor's shape.
-func Build(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
-	bindings, err := bindFrom(db, stmt)
+func Build(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
+	bindings, err := bindFrom(sn, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -24,7 +24,7 @@ func Build(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
 	rows := 1
 	for i, b := range bindings {
 		b.Off = 0
-		n := db.Table(b.Meta.Name).Len()
+		n := sn.Table(b.Meta.Name).Len()
 		scan := &Scan{B: b, Est: n, rel: relFor(b)}
 		rows *= n
 		if i == 0 {
@@ -34,29 +34,29 @@ func Build(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
 		root = joinNodes(root, scan, conds, rows)
 	}
 	if stmt.Where != nil {
-		root = &Filter{In: root, Pred: stmt.Where, Est: root.Rel().estimate(db)}
+		root = &Filter{In: root, Pred: stmt.Where, Est: root.Rel().estimate(sn)}
 	}
 	return finishPlan(root, root.Rel(), stmt)
 }
 
 // estimate is a crude row-count guess for naive filter nodes.
-func (r *Rel) estimate(db *store.DB) int {
+func (r *Rel) estimate(sn *store.Snapshot) int {
 	n := 1
 	for _, b := range r.Bindings {
-		n *= db.Table(b.Meta.Name).Len()
+		n *= sn.Table(b.Meta.Name).Len()
 	}
 	return n
 }
 
 // bindFrom resolves the FROM clause into full-width bindings.
-func bindFrom(db *store.DB, stmt *sql.SelectStmt) ([]Binding, error) {
+func bindFrom(sn *store.Snapshot, stmt *sql.SelectStmt) ([]Binding, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("plan: query has no FROM clause")
 	}
 	var bindings []Binding
 	seen := map[string]bool{}
 	for _, ref := range stmt.From {
-		tab := db.Table(ref.Table)
+		tab := sn.Table(ref.Table)
 		if tab == nil {
 			return nil, fmt.Errorf("plan: unknown table %q", ref.Table)
 		}

@@ -11,12 +11,17 @@ import (
 // take the process down.
 const MaxProduct = 5_000_000
 
-// Ctx carries everything an executing plan needs: the database, the
-// expression evaluator, the correlation parent for subquery plans, and
-// the parallel-execution state of the current run. When Par > 1 the
-// Evaluator must be safe for concurrent use.
+// Ctx carries everything an executing plan needs: the pinned database
+// snapshot, the expression evaluator, the correlation parent for
+// subquery plans, and the parallel-execution state of the current run.
+// When Par > 1 the Evaluator must be safe for concurrent use.
+//
+// Snap is a store.Snapshot, so the whole plan — scans, index probes,
+// column vectors, statistics — reads one frozen version of the data:
+// concurrent writers publish new versions without ever being observed
+// mid-query.
 type Ctx struct {
-	DB     *store.DB
+	Snap   *store.Snapshot
 	Ev     Evaluator
 	Parent *Frame
 	Par    int // worker budget; <= 1 executes serially
@@ -128,7 +133,7 @@ func (s *Scan) open(ctx *Ctx) (iter, error) {
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
 		return projectRows(mr.rows, s.B), nil
 	}
-	tab := ctx.DB.Table(s.B.Meta.Name)
+	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
@@ -138,7 +143,7 @@ func (s *Scan) open(ctx *Ctx) (iter, error) {
 
 // lookupIDs resolves the index probe or range into matching row ids.
 func (s *IndexScan) lookupIDs(ctx *Ctx) ([]int, error) {
-	tab := ctx.DB.Table(s.B.Meta.Name)
+	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
@@ -163,7 +168,7 @@ func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab := ctx.DB.Table(s.B.Meta.Name)
+	tab := ctx.Snap.Table(s.B.Meta.Name)
 	rows := make([]store.Row, len(ids))
 	for i, id := range ids {
 		rows[i] = tab.Row(id)

@@ -75,7 +75,7 @@ distinct [vec]
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			p, err := plan.Compile(db, sql.MustParse(c.sql))
+			p, err := plan.Compile(db.Snapshot(), sql.MustParse(c.sql))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,7 +94,7 @@ func TestExplainNaiveGolden(t *testing.T) {
 	db := dataset.University(1)
 	stmt := sql.MustParse("SELECT d.name, AVG(i.salary) AS avg_sal FROM instructors i, departments d " +
 		"WHERE i.dept_id = d.dept_id GROUP BY d.name HAVING COUNT(*) > 2 ORDER BY avg_sal DESC")
-	p, err := plan.Build(db, stmt)
+	p, err := plan.Build(db.Snapshot(), stmt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +110,11 @@ sort by avg_sal desc [vec]
 	}
 
 	// Optimize must transform the naive plan into the Compile result.
-	opt, err := plan.Optimize(db, p)
+	opt, err := plan.Optimize(db.Snapshot(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	compiled, err := plan.Compile(db, stmt)
+	compiled, err := plan.Compile(db.Snapshot(), stmt)
 	if err != nil {
 		t.Fatal(err)
 	}

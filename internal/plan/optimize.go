@@ -9,9 +9,12 @@ import (
 
 // Compile lowers stmt directly into an optimized plan — the path
 // exec.Query takes. It is equivalent to Build followed by Optimize but
-// skips constructing the naive tree.
-func Compile(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
-	return optimizeStmt(db, stmt)
+// skips constructing the naive tree. Planning reads the pinned
+// snapshot (row counts, statistics, index availability), so a plan
+// compiled and run against the same Snapshot is internally consistent
+// even while writers publish new versions.
+func Compile(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
+	return optimizeStmt(sn, stmt)
 }
 
 // Optimize rewrites a naive plan using table statistics from the
@@ -23,12 +26,12 @@ func Compile(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
 // join, or kept in a residual filter above the joins, and three-valued
 // logic is preserved because a top-level AND accepts a row only when
 // every conjunct is exactly TRUE.
-func Optimize(db *store.DB, p *Plan) (*Plan, error) {
-	return optimizeStmt(db, p.Stmt)
+func Optimize(sn *store.Snapshot, p *Plan) (*Plan, error) {
+	return optimizeStmt(sn, p.Stmt)
 }
 
-func optimizeStmt(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
-	bindings, err := bindFrom(db, stmt)
+func optimizeStmt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
+	bindings, err := bindFrom(sn, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -40,10 +43,10 @@ func optimizeStmt(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
 	scans := make([]Node, len(bindings))
 	est := make([]float64, len(bindings))
 	for i, b := range bindings {
-		scans[i], est[i] = accessPath(db, b, cls.pushed[i])
+		scans[i], est[i] = accessPath(sn, b, cls.pushed[i])
 	}
 
-	order := greedyJoinOrder(db, bindings, est, cls.joins)
+	order := greedyJoinOrder(sn, bindings, est, cls.joins)
 
 	// Assemble the left-deep join tree, consuming join conjuncts.
 	used := make([]bool, len(cls.joins))
@@ -66,7 +69,7 @@ func optimizeStmt(db *store.DB, stmt *sql.SelectStmt) (*Plan, error) {
 			lkey = append(lkey, lo)
 			rkey = append(rkey, ro)
 			conds = append(conds, jc.cond.Expr)
-			sel *= joinSelectivity(db, bindings, jc)
+			sel *= joinSelectivity(sn, bindings, jc)
 		}
 		rel := joinRel(root.Rel(), scans[bi].Rel())
 		outEst = outEst * est[bi] * sel
@@ -261,8 +264,8 @@ func walkRefs(e sql.Expr, visit func(sql.ColumnRef)) {
 // accessPath picks the cheapest way to read one table under its pushed
 // conjuncts: an index equality probe, an index range scan, or a full
 // scan; leftover conjuncts become a filter above it.
-func accessPath(db *store.DB, b Binding, pushed []sql.Expr) (Node, float64) {
-	tab := db.Table(b.Meta.Name)
+func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr) (Node, float64) {
+	tab := sn.Table(b.Meta.Name)
 	n := float64(tab.Len())
 	rel := relFor(b)
 
@@ -316,7 +319,7 @@ func accessPath(db *store.DB, b Binding, pushed []sql.Expr) (Node, float64) {
 // rangeBounds collects comparison conjuncts against literals on one
 // ordered-indexed column and merges them into a single range. The
 // column with the most usable bounds wins.
-func rangeBounds(tab *store.Table, pushed []sql.Expr) (col string, lo, hi *store.Value, loIncl, hiIncl bool, used []int) {
+func rangeBounds(tab *store.TableSnap, pushed []sql.Expr) (col string, lo, hi *store.Value, loIncl, hiIncl bool, used []int) {
 	type bound struct {
 		v    store.Value
 		incl bool
@@ -402,7 +405,7 @@ func rangeBounds(tab *store.Table, pushed []sql.Expr) (col string, lo, hi *store
 
 // rangeSelectivity interpolates numeric ranges against column min/max
 // statistics, defaulting to 1/3 when interpolation is impossible.
-func rangeSelectivity(tab *store.Table, col string, lo, hi *store.Value) float64 {
+func rangeSelectivity(tab *store.TableSnap, col string, lo, hi *store.Value) float64 {
 	st, ok := tab.Stats(col)
 	if !ok || st.Min.IsNull() || st.Max.IsNull() {
 		return 1.0 / 3
@@ -456,7 +459,7 @@ func selProduct(conds []sql.Expr) float64 {
 // the smallest estimated intermediate result, falling back to the
 // smallest unconnected binding (cartesian). Ties break on declaration
 // order so plans are deterministic.
-func greedyJoinOrder(db *store.DB, bindings []Binding, est []float64, joins []boundJoin) []int {
+func greedyJoinOrder(sn *store.Snapshot, bindings []Binding, est []float64, joins []boundJoin) []int {
 	n := len(bindings)
 	if n == 1 {
 		return []int{0}
@@ -482,7 +485,7 @@ func greedyJoinOrder(db *store.DB, bindings []Binding, est []float64, joins []bo
 			for _, jc := range joins {
 				if (placed[jc.bi] && jc.bj == i) || (placed[jc.bj] && jc.bi == i) {
 					connected = true
-					sel *= joinSelectivity(db, bindings, jc)
+					sel *= joinSelectivity(sn, bindings, jc)
 				}
 			}
 			cost := cur * est[i] * sel
@@ -502,7 +505,7 @@ func greedyJoinOrder(db *store.DB, bindings []Binding, est []float64, joins []bo
 
 // joinSelectivity estimates an equi-join conjunct as 1/max(distinct
 // values on either side).
-func joinSelectivity(db *store.DB, bindings []Binding, jc boundJoin) float64 {
+func joinSelectivity(sn *store.Snapshot, bindings []Binding, jc boundJoin) float64 {
 	d := 1
 	for _, side := range []struct {
 		bi  int
@@ -515,7 +518,7 @@ func joinSelectivity(db *store.DB, bindings []Binding, jc boundJoin) float64 {
 		if indexOfColumn(b.Meta, side.ref.Column) < 0 {
 			continue
 		}
-		if st, ok := db.Table(b.Meta.Name).Stats(side.ref.Column); ok && st.Distinct > d {
+		if st, ok := sn.Table(b.Meta.Name).Stats(side.ref.Column); ok && st.Distinct > d {
 			d = st.Distinct
 		}
 	}

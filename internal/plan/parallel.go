@@ -157,7 +157,7 @@ func partitionLeaf(n Node) Node {
 func baseRows(n Node, ctx *Ctx) ([]store.Row, []int, Binding, error) {
 	switch s := n.(type) {
 	case *Scan:
-		tab := ctx.DB.Table(s.B.Meta.Name)
+		tab := ctx.Snap.Table(s.B.Meta.Name)
 		if tab == nil {
 			return nil, nil, Binding{}, errUnknownTable(s.B.Meta.Name)
 		}
@@ -167,7 +167,7 @@ func baseRows(n Node, ctx *Ctx) ([]store.Row, []int, Binding, error) {
 		if err != nil {
 			return nil, nil, Binding{}, err
 		}
-		tab := ctx.DB.Table(s.B.Meta.Name)
+		tab := ctx.Snap.Table(s.B.Meta.Name)
 		rows := make([]store.Row, len(ids))
 		for i, id := range ids {
 			rows[i] = tab.Row(id)

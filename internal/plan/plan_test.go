@@ -14,7 +14,7 @@ import (
 // harness consumes.
 func TestOperatorCounts(t *testing.T) {
 	db := dataset.University(1)
-	p, err := plan.Compile(db, sql.MustParse(
+	p, err := plan.Compile(db.Snapshot(), sql.MustParse(
 		"SELECT s.name FROM students s, departments d "+
 			"WHERE s.dept_id = d.dept_id AND s.gpa > 3 ORDER BY s.name LIMIT 3"))
 	if err != nil {
@@ -35,7 +35,7 @@ func TestOperatorCounts(t *testing.T) {
 // that SELECT * disables pruning.
 func TestColumnPruning(t *testing.T) {
 	db := dataset.University(1)
-	p, err := plan.Compile(db, sql.MustParse("SELECT name FROM students WHERE gpa > 3"))
+	p, err := plan.Compile(db.Snapshot(), sql.MustParse("SELECT name FROM students WHERE gpa > 3"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestColumnPruning(t *testing.T) {
 		t.Errorf("retained %d columns, want 2", got)
 	}
 
-	star, err := plan.Compile(db, sql.MustParse("SELECT * FROM students"))
+	star, err := plan.Compile(db.Snapshot(), sql.MustParse("SELECT * FROM students"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +70,12 @@ func TestColumnPruning(t *testing.T) {
 func TestIndexScanDisappearsWithoutIndexes(t *testing.T) {
 	db := dataset.University(1)
 	stmt := sql.MustParse("SELECT name FROM students WHERE id = 7")
-	p, _ := plan.Compile(db, stmt)
+	p, _ := plan.Compile(db.Snapshot(), stmt)
 	if p.OperatorCounts()["index-scan"] != 1 {
 		t.Fatalf("want an index scan with indexes present:\n%s", p.Explain())
 	}
 	db.DropAllIndexes()
-	p, _ = plan.Compile(db, stmt)
+	p, _ = plan.Compile(db.Snapshot(), stmt)
 	counts := p.OperatorCounts()
 	if counts["index-scan"] != 0 || counts["scan"] != 1 || counts["filter"] != 1 {
 		t.Fatalf("want filter+scan without indexes, got %v:\n%s", counts, p.Explain())
@@ -93,7 +93,7 @@ func TestNullLiteralNeverTakesIndexPath(t *testing.T) {
 		"SELECT name FROM students WHERE id > NULL",
 		"SELECT name FROM students WHERE id BETWEEN NULL AND 10",
 	} {
-		p, err := plan.Compile(db, sql.MustParse(q))
+		p, err := plan.Compile(db.Snapshot(), sql.MustParse(q))
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
@@ -108,11 +108,11 @@ func TestNullLiteralNeverTakesIndexPath(t *testing.T) {
 func TestCrossProductGuard(t *testing.T) {
 	db := dataset.University(1)
 	stmt := sql.MustParse("SELECT COUNT(*) FROM enrollments a, enrollments b, enrollments c")
-	p, err := plan.Compile(db, stmt)
+	p, err := plan.Compile(db.Snapshot(), stmt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = plan.Run(p, &plan.Ctx{DB: db, Ev: nopEvaluator{}})
+	_, err = plan.Run(p, &plan.Ctx{Snap: db.Snapshot(), Ev: nopEvaluator{}})
 	if err == nil || !strings.Contains(err.Error(), "add a join condition") {
 		t.Fatalf("cross product guard did not fire: %v", err)
 	}

@@ -196,7 +196,7 @@ func vecIter(op viter) iter {
 // ---- scans ----
 
 // retainedVecs picks the binding's retained column vectors.
-func retainedVecs(tab *store.Table, b Binding) []*store.ColVec {
+func retainedVecs(tab *store.TableSnap, b Binding) []*store.ColVec {
 	all := tab.ColVecs()
 	out := make([]*store.ColVec, len(b.Cols))
 	for p, ci := range b.Cols {
@@ -266,7 +266,7 @@ func gatherBatches(cvs []*store.ColVec, ids []int) viter {
 }
 
 func (s *Scan) vopen(ctx *Ctx) (viter, error) {
-	tab := ctx.DB.Table(s.B.Meta.Name)
+	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
@@ -281,7 +281,7 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 }
 
 func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
-	tab := ctx.DB.Table(s.B.Meta.Name)
+	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}

@@ -105,8 +105,11 @@ type Index struct {
 	maxValueLen int
 }
 
-// Build constructs the index for db.
+// Build constructs the index for db. Data values are read through one
+// pinned snapshot, so building an engine while a loader is running
+// indexes a consistent instant of the data.
 func Build(db *store.DB, opts Options) *Index {
+	sn := db.Snapshot()
 	idx := &Index{
 		Schema:    db.Schema,
 		Opts:      opts,
@@ -139,7 +142,7 @@ func Build(db *store.DB, opts Options) *Index {
 
 	if opts.Values {
 		for _, t := range db.Schema.Tables {
-			tab := db.Table(t.Name)
+			tab := sn.Table(t.Name)
 			for ci, c := range t.Columns {
 				if c.Type != schema.Text {
 					continue

@@ -1,16 +1,15 @@
 package store
 
 import (
-	"sync"
-
 	"repro/internal/schema"
 )
 
 // This file is the columnar face of the store: per-column typed
-// vectors with null bitmaps, built once per data version and shared
+// vectors with null bitmaps, built once per table snapshot and shared
 // read-only by the vectorized executor (internal/plan). The row slice
-// stays the source of truth — columns are a derived, cached layout, so
-// the single-writer mutation contract is unchanged.
+// stays the source of truth — columns are a derived, cached layout
+// living on the immutable snapshot (see snapshot.go), extended
+// copy-on-write by writers instead of being invalidated.
 
 // Bitmap is a bitset over row ids, the null mask of a column vector.
 // The nil Bitmap reports every bit clear, so columns without NULLs
@@ -124,29 +123,14 @@ func KindOfColType(t schema.ColType) Kind {
 	return KindNull
 }
 
-// colCache is the lazily-built columnar snapshot of a table, keyed by
-// the table's data version.
-type colCache struct {
-	mu   sync.Mutex
-	ver  uint64
-	ok   bool
-	cols []*ColVec
-}
-
-// ColVecs returns the table's columnar layout: one typed vector per
-// schema column, built lazily and cached until the next mutation.
-// Concurrent readers share one snapshot; mutation is single-writer by
-// the store's contract, so a version check suffices for invalidation.
-func (t *Table) ColVecs() []*ColVec {
-	t.colsCache.mu.Lock()
-	defer t.colsCache.mu.Unlock()
-	ver := t.version.Load()
-	if t.colsCache.ok && t.colsCache.ver == ver {
-		return t.colsCache.cols
-	}
-	cols := make([]*ColVec, len(t.Meta.Columns))
-	n := len(t.rows)
-	for ci, mc := range t.Meta.Columns {
+// buildColVecs materializes the columnar layout of a frozen row set:
+// one typed vector per schema column — the from-scratch path
+// TableSnap.ColVecs takes when the writer had no built layout to
+// extend (see extendCols in snapshot.go).
+func buildColVecs(meta *schema.Table, rows []Row) []*ColVec {
+	cols := make([]*ColVec, len(meta.Columns))
+	n := len(rows)
+	for ci, mc := range meta.Columns {
 		cv := &ColVec{Kind: KindOfColType(mc.Type)}
 		switch cv.Kind {
 		case KindInt:
@@ -158,7 +142,7 @@ func (t *Table) ColVecs() []*ColVec {
 		case KindBool:
 			cv.Bools = make([]bool, n)
 		}
-		for i, row := range t.rows {
+		for i, row := range rows {
 			v := row[ci]
 			if v.IsNull() {
 				if cv.Nulls == nil {
@@ -181,8 +165,37 @@ func (t *Table) ColVecs() []*ColVec {
 		}
 		cols[ci] = cv
 	}
-	t.colsCache.ver = ver
-	t.colsCache.ok = true
-	t.colsCache.cols = cols
 	return cols
+}
+
+// appendValue appends one non-NULL cell to the vector's data slice.
+// Appending in place past the published length is safe under the
+// store's copy-on-write contract: only the serialized writer extends
+// a vector, and pinned readers hold shorter slice headers.
+func (c *ColVec) appendValue(v Value) {
+	switch c.Kind {
+	case KindInt:
+		c.Ints = append(c.Ints, v.Int64())
+	case KindFloat:
+		f, _ := v.AsFloat()
+		c.Floats = append(c.Floats, f)
+	case KindText:
+		c.Strs = append(c.Strs, v.Str())
+	case KindBool:
+		c.Bools = append(c.Bools, v.BoolVal())
+	}
+}
+
+// appendZero appends the zero cell backing a NULL.
+func (c *ColVec) appendZero() {
+	switch c.Kind {
+	case KindInt:
+		c.Ints = append(c.Ints, 0)
+	case KindFloat:
+		c.Floats = append(c.Floats, 0)
+	case KindText:
+		c.Strs = append(c.Strs, "")
+	case KindBool:
+		c.Bools = append(c.Bools, false)
+	}
 }

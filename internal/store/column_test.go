@@ -128,7 +128,7 @@ func TestBulkInsertMatchesInsert(t *testing.T) {
 	if sa != sb {
 		t.Errorf("stats differ: %+v vs %+v", sa, sb)
 	}
-	if a.version.Load() == 0 {
+	if a.Version() == 0 {
 		t.Error("BulkInsert did not bump the data version")
 	}
 }
@@ -150,7 +150,7 @@ func TestBulkInsertValidates(t *testing.T) {
 		t.Errorf("empty bulk insert: %v", err)
 	}
 	// Atomicity: a valid row followed by a bad one inserts nothing.
-	before := tab.version.Load()
+	before := tab.Version()
 	err := tab.BulkInsert([]Row{
 		{Int(1), Float(1), Text("ok"), Bool(true)},
 		{Int(2)},
@@ -161,7 +161,7 @@ func TestBulkInsertValidates(t *testing.T) {
 	if tab.Len() != 0 {
 		t.Errorf("failed bulk insert left %d rows behind", tab.Len())
 	}
-	if tab.version.Load() != before {
+	if tab.Version() != before {
 		t.Error("failed bulk insert bumped the data version")
 	}
 }

@@ -141,15 +141,16 @@ func (db *DB) LoadCSVDir(dir string) error {
 	return db.BuildPrimaryIndexes()
 }
 
-// WriteCSV writes the table (header plus all rows) to w. NULLs are
-// written as empty cells, round-tripping with LoadCSV.
+// WriteCSV writes the table (header plus all rows of the current
+// snapshot) to w. NULLs are written as empty cells, round-tripping
+// with LoadCSV.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.Meta.ColumnNames()); err != nil {
 		return err
 	}
 	rec := make([]string, len(t.Meta.Columns))
-	for _, row := range t.rows {
+	for _, row := range t.Snap().Rows() {
 		for i, v := range row {
 			if v.IsNull() {
 				rec[i] = ""

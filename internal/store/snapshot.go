@@ -1,0 +1,446 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// This file is the snapshot-isolation core of the store. A Table is a
+// mutable handle whose contents live in immutable tableData versions:
+// writers build the next version copy-on-write under the table's write
+// lock and publish it with one atomic pointer store; readers pin a
+// version (TableSnap, or a whole-database Snapshot) and see it frozen
+// — rows, hash and ordered indexes, statistics and columnar vectors
+// all describe the same instant, with no locks on the read path.
+//
+// Copy-on-write is chunk-grained, not wholesale:
+//
+//   - rows append in place: a published []Row is only ever extended
+//     past its length, which readers of the shorter header never see;
+//   - hash indexes clone the outer map (shallow) and copy only the
+//     per-key id slices the new rows touch;
+//   - ordered indexes merge the sorted new ids with the old run in
+//     O(n+k) instead of re-sorting;
+//   - statistics and column vectors carry over incrementally when the
+//     previous version had them built (see extendStats, extendCols).
+//
+// Writers to one table serialize on wmu; writers to different tables
+// are independent. Version numbers are per table and bump only on row
+// mutations — index DDL republishes the same data under the same
+// version, so caches keyed on versions stay valid.
+
+// tableData is one immutable version of a table's contents. Everything
+// reachable from it is frozen at publish time except the lazy caches,
+// which are guarded and only ever move from empty to built.
+type tableData struct {
+	rows    []Row
+	hash    map[string]map[string][]int // column -> value key -> row ids
+	ord     map[string][]int            // column -> row ids sorted by value
+	version uint64
+	caches  *dataCaches
+}
+
+// dataCaches holds the lazily-built derivatives of one data version:
+// per-column statistics and the columnar layout. Index-only republishes
+// share the caches of the version they mirror (same rows, same stats,
+// same vectors); row mutations allocate a fresh one, pre-seeded
+// incrementally where possible.
+type dataCaches struct {
+	statsMu sync.Mutex
+	stats   map[string]ColStats
+
+	colsMu sync.Mutex
+	cols   []*ColVec // nil until built
+}
+
+// TableSnap is a pinned, immutable view of one table version. All read
+// accessors of Table exist here too; a query that resolves its tables
+// once through a Snapshot sees rows, indexes, stats and column vectors
+// that are mutually consistent for its whole plan, regardless of
+// concurrent writers.
+type TableSnap struct {
+	Meta   *schema.Table
+	colIdx map[string]int
+	d      *tableData
+}
+
+// Snap pins the table's current version.
+func (t *Table) Snap() *TableSnap {
+	return &TableSnap{Meta: t.Meta, colIdx: t.colIdx, d: t.data.Load()}
+}
+
+// Version returns the data version this snapshot was pinned at.
+func (s *TableSnap) Version() uint64 { return s.d.version }
+
+// ColIndex returns the position of the named column, or -1.
+func (s *TableSnap) ColIndex(name string) int {
+	if i, ok := s.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the row count.
+func (s *TableSnap) Len() int { return len(s.d.rows) }
+
+// Rows returns the snapshot's rows. Callers must not mutate them.
+func (s *TableSnap) Rows() []Row { return s.d.rows }
+
+// Row returns row i.
+func (s *TableSnap) Row(i int) Row { return s.d.rows[i] }
+
+// HasIndex reports whether the column has a hash index.
+func (s *TableSnap) HasIndex(col string) bool {
+	_, ok := s.d.hash[col]
+	return ok
+}
+
+// LookupIndex returns the ids of rows whose column equals v, using the
+// hash index. The second result is false when no index exists.
+func (s *TableSnap) LookupIndex(col string, v Value) ([]int, bool) {
+	idx, ok := s.d.hash[col]
+	if !ok {
+		return nil, false
+	}
+	return idx[v.Key()], true
+}
+
+// HasOrderedIndex reports whether the column has an ordered index.
+func (s *TableSnap) HasOrderedIndex(col string) bool {
+	_, ok := s.d.ord[col]
+	return ok
+}
+
+// LookupRange returns the ids of rows whose column value lies between
+// lo and hi (either bound may be nil for unbounded), honoring bound
+// inclusivity, in ascending value order. NULL cells never match. The
+// second result is false when the column has no ordered index.
+func (s *TableSnap) LookupRange(col string, lo, hi *Value, loIncl, hiIncl bool) ([]int, bool) {
+	ids, ok := s.d.ord[col]
+	if !ok {
+		return nil, false
+	}
+	ci := s.colIdx[col]
+	rows := s.d.rows
+	val := func(i int) Value { return rows[ids[i]][ci] }
+
+	// Start: skip NULLs (which sort first), then apply the low bound.
+	start := sort.Search(len(ids), func(i int) bool { return !val(i).IsNull() })
+	if lo != nil {
+		start = sort.Search(len(ids), func(i int) bool {
+			v := val(i)
+			if v.IsNull() {
+				return false
+			}
+			c := Compare(v, *lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ids)
+	if hi != nil {
+		end = sort.Search(len(ids), func(i int) bool {
+			v := val(i)
+			if v.IsNull() {
+				return false
+			}
+			c := Compare(v, *hi)
+			if hiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil, true
+	}
+	return ids[start:end], true
+}
+
+// Stats returns the (lazily computed, cached) statistics for the named
+// column at this snapshot. The second result is false when the column
+// does not exist. The cache lives on the pinned version, so a snapshot's
+// stats always describe exactly its rows — writers never invalidate
+// them, they publish new versions with their own caches (seeded
+// incrementally when the previous version had stats built).
+func (s *TableSnap) Stats(col string) (ColStats, bool) {
+	ci := s.ColIndex(col)
+	if ci < 0 {
+		return ColStats{}, false
+	}
+	c := s.d.caches
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if st, ok := c.stats[col]; ok {
+		return st, true
+	}
+	st := computeStats(s.d.rows, ci)
+	if c.stats == nil {
+		c.stats = make(map[string]ColStats, len(s.Meta.Columns))
+	}
+	c.stats[col] = st
+	return st, true
+}
+
+// ColVecs returns the snapshot's columnar layout: one typed vector per
+// schema column, built lazily and cached on the pinned version.
+// Concurrent readers of one snapshot share a single build; writers
+// extend a built layout copy-on-write instead of invalidating it.
+func (s *TableSnap) ColVecs() []*ColVec {
+	c := s.d.caches
+	c.colsMu.Lock()
+	defer c.colsMu.Unlock()
+	if c.cols == nil {
+		c.cols = buildColVecs(s.Meta, s.d.rows)
+	}
+	return c.cols
+}
+
+// Snapshot is a pinned, immutable view of the whole database: one
+// TableSnap per table, each at the version current when Snapshot() was
+// called. Queries (planning and execution) resolve tables through one
+// Snapshot so every access — scans, index probes, stats, column
+// vectors — observes the same instant.
+type Snapshot struct {
+	Schema *schema.Schema
+	tables map[string]*TableSnap
+}
+
+// Snapshot pins the current version of every table. The tables are
+// pinned one after another (each atomically); a writer racing with the
+// pin may land in either side, but once returned the view is frozen.
+func (db *DB) Snapshot() *Snapshot {
+	s := &Snapshot{Schema: db.Schema, tables: make(map[string]*TableSnap, len(db.tables))}
+	for name, t := range db.tables {
+		s.tables[name] = t.Snap()
+	}
+	return s
+}
+
+// Table returns the pinned view of the named table, or nil.
+func (s *Snapshot) Table(name string) *TableSnap { return s.tables[name] }
+
+// Version sums the pinned per-table versions — the whole-database data
+// version this snapshot observes.
+func (s *Snapshot) Version() uint64 {
+	var v uint64
+	for _, t := range s.tables {
+		v += t.d.version
+	}
+	return v
+}
+
+// TableVersion returns the pinned version of the named table, or 0.
+func (s *Snapshot) TableVersion(name string) uint64 {
+	if t := s.tables[name]; t != nil {
+		return t.d.version
+	}
+	return 0
+}
+
+// ---- write path ----
+
+// publishRows appends staged (already validated and coerced) rows as
+// the table's next version: indexes are maintained copy-on-write and
+// incrementally, statistics and column vectors carry over from the
+// previous version when built there.
+func (t *Table) publishRows(staged []Row) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	cur := t.data.Load()
+	base := len(cur.rows)
+	next := &tableData{
+		// Appending in place is safe: readers pinned to cur hold a
+		// shorter slice header and never look past it, and writers are
+		// serialized, so each backing array position is written once.
+		rows:    append(cur.rows, staged...),
+		version: cur.version + 1,
+		ord:     cur.ord,
+	}
+
+	// Hash indexes: shallow-clone the outer map, copy-and-extend only
+	// the id slices the new rows' keys touch.
+	if len(cur.hash) > 0 {
+		next.hash = make(map[string]map[string][]int, len(cur.hash))
+		for col, idx := range cur.hash {
+			ci := t.colIdx[col]
+			add := make(map[string][]int)
+			for i, row := range staged {
+				k := row[ci].Key()
+				add[k] = append(add[k], base+i)
+			}
+			nidx := make(map[string][]int, len(idx)+len(add))
+			for k, ids := range idx {
+				nidx[k] = ids
+			}
+			for k, ids := range add {
+				old := nidx[k]
+				merged := make([]int, 0, len(old)+len(ids))
+				merged = append(append(merged, old...), ids...)
+				nidx[k] = merged
+			}
+			next.hash[col] = nidx
+		}
+	}
+
+	// Ordered indexes: sort only the new ids, then merge with the old
+	// sorted run — O(n+k) per index instead of an O(n log n) rebuild.
+	if len(cur.ord) > 0 {
+		next.ord = make(map[string][]int, len(cur.ord))
+		for col, ids := range cur.ord {
+			ci := t.colIdx[col]
+			newIDs := make([]int, len(staged))
+			for i := range newIDs {
+				newIDs[i] = base + i
+			}
+			rows := next.rows
+			sort.SliceStable(newIDs, func(a, b int) bool {
+				return Compare(rows[newIDs[a]][ci], rows[newIDs[b]][ci]) < 0
+			})
+			next.ord[col] = mergeOrdered(rows, ci, ids, newIDs)
+		}
+	}
+
+	next.caches = &dataCaches{
+		stats: t.extendStats(cur, next, staged),
+		cols:  extendCols(t.Meta, cur, staged),
+	}
+	t.data.Store(next)
+}
+
+// mergeOrdered merges two id runs already sorted by column value into
+// a fresh sorted run. Ties keep old ids first, matching what a stable
+// re-sort over ascending ids would produce.
+func mergeOrdered(rows []Row, ci int, old, add []int) []int {
+	out := make([]int, 0, len(old)+len(add))
+	i, j := 0, 0
+	for i < len(old) && j < len(add) {
+		if Compare(rows[old[i]][ci], rows[add[j]][ci]) <= 0 {
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, old[i:]...)
+	return append(out, add[j:]...)
+}
+
+// extendStats seeds the next version's stats cache from the previous
+// version's computed entries. Row, NULL and min/max summaries extend
+// exactly from the new rows alone; the distinct count is carried only
+// when the column has a hash index on the next version (its key count
+// is the exact distinct count, minus the NULL key when present) —
+// otherwise the entry is dropped and recomputed lazily on demand.
+func (t *Table) extendStats(cur, next *tableData, staged []Row) map[string]ColStats {
+	cur.caches.statsMu.Lock()
+	prev := cur.caches.stats
+	var seed map[string]ColStats
+	if len(prev) > 0 {
+		seed = make(map[string]ColStats, len(prev))
+		for col, st := range prev {
+			seed[col] = st
+		}
+	}
+	cur.caches.statsMu.Unlock()
+	if seed == nil {
+		return nil
+	}
+	out := make(map[string]ColStats, len(seed))
+	for col, st := range seed {
+		ci := t.colIdx[col]
+		st.Rows += len(staged)
+		for _, row := range staged {
+			v := row[ci]
+			if v.IsNull() {
+				st.Nulls++
+				continue
+			}
+			if st.Min.IsNull() || Compare(v, st.Min) < 0 {
+				st.Min = v
+			}
+			if st.Max.IsNull() || Compare(v, st.Max) > 0 {
+				st.Max = v
+			}
+		}
+		idx, ok := next.hash[col]
+		if !ok {
+			continue // distinct not derivable incrementally; recompute lazily
+		}
+		st.Distinct = len(idx)
+		if st.Nulls > 0 {
+			st.Distinct-- // the NULL key's entry
+		}
+		out[col] = st
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// extendCols extends the previous version's columnar layout with the
+// staged rows, when that layout was built. Data slices append in place
+// (safe for the same reason rows do); null bitmaps are copied — their
+// last word is shared otherwise — and regrown to cover the new length.
+func extendCols(meta *schema.Table, cur *tableData, staged []Row) []*ColVec {
+	cur.caches.colsMu.Lock()
+	cols := cur.caches.cols
+	cur.caches.colsMu.Unlock()
+	if cols == nil {
+		return nil
+	}
+	n := len(cur.rows)
+	m := n + len(staged)
+	out := make([]*ColVec, len(cols))
+	for ci, cv := range cols {
+		ncv := &ColVec{Kind: cv.Kind, Ints: cv.Ints, Floats: cv.Floats, Strs: cv.Strs, Bools: cv.Bools}
+		anyNull := cv.Nulls != nil
+		for _, row := range staged {
+			if row[ci].IsNull() {
+				anyNull = true
+				break
+			}
+		}
+		if anyNull {
+			nb := NewBitmap(m)
+			copy(nb, cv.Nulls)
+			ncv.Nulls = nb
+		}
+		for i, row := range staged {
+			v := row[ci]
+			if v.IsNull() {
+				ncv.Nulls.Set(n + i)
+				ncv.appendZero()
+				continue
+			}
+			ncv.appendValue(v)
+		}
+		out[ci] = ncv
+	}
+	return out
+}
+
+// publishIndex republishes the current data with idx applied to its
+// hash/ordered index maps under the writer lock. The data version does
+// not move (rows are unchanged) and the lazy caches are shared with
+// the previous publication.
+func (t *Table) publishIndex(mutate func(cur *tableData, next *tableData)) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	cur := t.data.Load()
+	next := &tableData{
+		rows:    cur.rows,
+		hash:    cur.hash,
+		ord:     cur.ord,
+		version: cur.version,
+		caches:  cur.caches,
+	}
+	mutate(cur, next)
+	t.data.Store(next)
+}

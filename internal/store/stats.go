@@ -29,28 +29,13 @@ func (s ColStats) Selectivity() float64 {
 	return sel
 }
 
-// Stats returns the (lazily computed, cached) statistics for the named
-// column. The second result is false when the column does not exist.
-// The cache is invalidated by Insert. Unlike the rest of the table,
-// the stats cache is mutex-guarded: planning lazily populates it, and
-// concurrent read-only queries over one database must stay safe even
-// though mutation is single-writer by contract.
-func (t *Table) Stats(col string) (ColStats, bool) {
-	ci := t.ColIndex(col)
-	if ci < 0 {
-		return ColStats{}, false
-	}
-	t.statsMu.Lock()
-	defer t.statsMu.Unlock()
-	if t.stats == nil {
-		t.stats = make(map[string]ColStats, len(t.Meta.Columns))
-	}
-	if s, ok := t.stats[col]; ok {
-		return s, true
-	}
-	s := ColStats{Rows: len(t.rows)}
+// computeStats scans a frozen row set for one column's statistics —
+// the from-scratch path TableSnap.Stats takes when the snapshot's
+// cache was not seeded incrementally by the writer.
+func computeStats(rows []Row, ci int) ColStats {
+	s := ColStats{Rows: len(rows)}
 	distinct := make(map[string]struct{})
-	for _, row := range t.rows {
+	for _, row := range rows {
 		v := row[ci]
 		if v.IsNull() {
 			s.Nulls++
@@ -65,88 +50,25 @@ func (t *Table) Stats(col string) (ColStats, bool) {
 		}
 	}
 	s.Distinct = len(distinct)
-	t.stats[col] = s
-	return s, true
+	return s
 }
 
-// invalidateStats drops cached statistics after a mutation.
-func (t *Table) invalidateStats() {
-	t.statsMu.Lock()
-	t.stats = nil
-	t.statsMu.Unlock()
-}
-
-// BuildOrderedIndex creates (or rebuilds) an ordered index on the named
-// column: row ids sorted by column value (NULLs first, store.Compare
-// order). It enables LookupRange for range predicates.
-func (t *Table) BuildOrderedIndex(col string) error {
-	ci := t.ColIndex(col)
-	if ci < 0 {
-		return errNoColumn(t, col)
-	}
-	ids := make([]int, len(t.rows))
+// withOrderedIndex returns cur's ordered-index map extended (copy-on-
+// write) with a freshly built run for column ci: row ids sorted by
+// value, NULLs first, store.Compare order.
+func withOrderedIndex(cur *tableData, col string, ci int) map[string][]int {
+	ids := make([]int, len(cur.rows))
 	for i := range ids {
 		ids[i] = i
 	}
+	rows := cur.rows
 	sort.SliceStable(ids, func(a, b int) bool {
-		return Compare(t.rows[ids[a]][ci], t.rows[ids[b]][ci]) < 0
+		return Compare(rows[ids[a]][ci], rows[ids[b]][ci]) < 0
 	})
-	if t.ord == nil {
-		t.ord = make(map[string][]int)
+	out := make(map[string][]int, len(cur.ord)+1)
+	for k, v := range cur.ord {
+		out[k] = v
 	}
-	t.ord[col] = ids
-	return nil
-}
-
-// HasOrderedIndex reports whether the column has an ordered index.
-func (t *Table) HasOrderedIndex(col string) bool {
-	_, ok := t.ord[col]
-	return ok
-}
-
-// LookupRange returns the ids of rows whose column value lies between
-// lo and hi (either bound may be nil for unbounded), honoring bound
-// inclusivity, in ascending value order. NULL cells never match. The
-// second result is false when the column has no ordered index.
-func (t *Table) LookupRange(col string, lo, hi *Value, loIncl, hiIncl bool) ([]int, bool) {
-	ids, ok := t.ord[col]
-	if !ok {
-		return nil, false
-	}
-	ci := t.colIdx[col]
-	val := func(i int) Value { return t.rows[ids[i]][ci] }
-
-	// Start: skip NULLs (which sort first), then apply the low bound.
-	start := sort.Search(len(ids), func(i int) bool { return !val(i).IsNull() })
-	if lo != nil {
-		start = sort.Search(len(ids), func(i int) bool {
-			v := val(i)
-			if v.IsNull() {
-				return false
-			}
-			c := Compare(v, *lo)
-			if loIncl {
-				return c >= 0
-			}
-			return c > 0
-		})
-	}
-	end := len(ids)
-	if hi != nil {
-		end = sort.Search(len(ids), func(i int) bool {
-			v := val(i)
-			if v.IsNull() {
-				return false
-			}
-			c := Compare(v, *hi)
-			if hiIncl {
-				return c > 0
-			}
-			return c >= 0
-		})
-	}
-	if start >= end {
-		return nil, true
-	}
-	return ids[start:end], true
+	out[col] = ids
+	return out
 }

@@ -2,26 +2,26 @@ package store
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/schema"
 )
 
-// Table holds the rows of one relation plus optional hash and ordered
-// indexes and cached per-column statistics for the query planner.
+// Table is the mutable handle of one relation. Its contents live in
+// immutable snapshots (see snapshot.go): writers build the next
+// version copy-on-write and publish it atomically; readers pin a
+// version with Snap (or database-wide with DB.Snapshot) and are never
+// blocked by — or exposed to — concurrent writers. The read accessors
+// on Table itself each pin the current version, so two successive
+// calls may observe different versions; queries that need a mutually
+// consistent view must go through one TableSnap/Snapshot.
 type Table struct {
-	Meta    *schema.Table
-	rows    []Row
-	colIdx  map[string]int
-	hash    map[string]map[string][]int // column -> value key -> row ids
-	ord     map[string][]int            // column -> row ids sorted by value
-	version atomic.Uint64               // bumped per mutation; see DB.DataVersion
-	statsMu sync.Mutex
-	stats   map[string]ColStats // column -> cached statistics; see Stats
+	Meta   *schema.Table
+	colIdx map[string]int
 
-	colsCache colCache // lazily-built columnar layout; see ColVecs
+	wmu  sync.Mutex                // serializes writers to this table
+	data atomic.Pointer[tableData] // current published version
 }
 
 // NewTable creates an empty table for the given schema table.
@@ -29,11 +29,11 @@ func NewTable(meta *schema.Table) *Table {
 	t := &Table{
 		Meta:   meta,
 		colIdx: make(map[string]int, len(meta.Columns)),
-		hash:   make(map[string]map[string][]int),
 	}
 	for i, c := range meta.Columns {
 		t.colIdx[c.Name] = i
 	}
+	t.data.Store(&tableData{caches: &dataCaches{}})
 	return t
 }
 
@@ -45,18 +45,26 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// Len returns the row count.
-func (t *Table) Len() int { return len(t.rows) }
+// Version returns the table's current data version: a per-table
+// monotonic counter bumped by every row mutation (and only by row
+// mutations — index DDL leaves it unchanged). Equal versions imply
+// equal contents, the invalidation token for caches keyed on this
+// table's data.
+func (t *Table) Version() uint64 { return t.data.Load().version }
 
-// Rows returns the table's rows. Callers must not mutate them.
-func (t *Table) Rows() []Row { return t.rows }
+// Len returns the current row count.
+func (t *Table) Len() int { return t.Snap().Len() }
 
-// Row returns row i.
-func (t *Table) Row(i int) Row { return t.rows[i] }
+// Rows returns the current version's rows. Callers must not mutate
+// them.
+func (t *Table) Rows() []Row { return t.Snap().Rows() }
+
+// Row returns row i of the current version.
+func (t *Table) Row(i int) Row { return t.Snap().Row(i) }
 
 // Insert appends a row after validating arity and column types. INT
 // values are accepted into FLOAT columns (widening); NULL is accepted
-// anywhere. Indexes are maintained.
+// anywhere. Indexes are maintained on the published snapshot.
 func (t *Table) Insert(vals ...Value) error {
 	if len(vals) != len(t.Meta.Columns) {
 		return fmt.Errorf("store: table %s expects %d values, got %d",
@@ -71,43 +79,25 @@ func (t *Table) Insert(vals ...Value) error {
 		}
 		row[i] = coerced
 	}
-	id := len(t.rows)
-	t.rows = append(t.rows, row)
-	for col, idx := range t.hash {
-		ci := t.colIdx[col]
-		k := row[ci].Key()
-		idx[k] = append(idx[k], id)
-	}
-	for col, ids := range t.ord {
-		ci := t.colIdx[col]
-		v := row[ci]
-		pos := sort.Search(len(ids), func(i int) bool {
-			return Compare(t.rows[ids[i]][ci], v) > 0
-		})
-		ids = append(ids, 0)
-		copy(ids[pos+1:], ids[pos:])
-		ids[pos] = id
-		t.ord[col] = ids
-	}
-	t.invalidateStats()
-	t.version.Add(1)
+	t.publishRows([]Row{row})
 	return nil
 }
 
-// BulkInsert appends many rows with index maintenance deferred: rows
-// are validated and coerced like Insert, but hash and ordered indexes
-// are rebuilt once at the end instead of per row. Per-row ordered-index
-// maintenance is O(n) per insert (O(n²) for a load); the deferred
-// rebuild is one O(n log n) sort per index. Loaders (store/csv,
+// BulkInsert appends many rows as one new version: rows are validated
+// and coerced like Insert, then published in a single atomic step with
+// indexes, statistics and column vectors maintained incrementally on
+// the new snapshot (merge into the ordered runs, copy-on-write into
+// the hash buckets — never a full rebuild). Concurrent readers see
+// either none or all of the batch. Loaders (store/csv,
 // internal/dataset) should prefer this for anything beyond a handful
 // of rows.
 func (t *Table) BulkInsert(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	// Validate and coerce every row before touching the table, so a
-	// mid-batch error leaves no partial mutation behind (Insert gives
-	// the same guarantee per row).
+	// Validate and coerce every row before publishing, so a mid-batch
+	// error leaves no partial mutation behind (Insert gives the same
+	// guarantee per row).
 	staged := make([]Row, len(rows))
 	for ri, vals := range rows {
 		if len(vals) != len(t.Meta.Columns) {
@@ -125,20 +115,7 @@ func (t *Table) BulkInsert(rows []Row) error {
 		}
 		staged[ri] = row
 	}
-	t.rows = append(t.rows, staged...)
-	// Rebuild whatever indexes already exist, once.
-	for col := range t.hash {
-		if err := t.BuildIndex(col); err != nil {
-			return err
-		}
-	}
-	for col := range t.ord {
-		if err := t.BuildOrderedIndex(col); err != nil {
-			return err
-		}
-	}
-	t.invalidateStats()
-	t.version.Add(1)
+	t.publishRows(staged)
 	return nil
 }
 
@@ -172,38 +149,91 @@ func coerce(v Value, want schema.ColType) (Value, error) {
 
 // BuildIndex creates (or rebuilds) a hash index on the named column,
 // along with an ordered companion index that serves range predicates.
+// Like every write it publishes a new snapshot; pinned readers keep
+// the index set they planned against.
 func (t *Table) BuildIndex(col string) error {
 	ci := t.ColIndex(col)
 	if ci < 0 {
 		return errNoColumn(t, col)
 	}
-	idx := make(map[string][]int)
-	for id, row := range t.rows {
-		k := row[ci].Key()
-		idx[k] = append(idx[k], id)
+	t.publishIndex(func(cur, next *tableData) {
+		idx := make(map[string][]int)
+		for id, row := range cur.rows {
+			k := row[ci].Key()
+			idx[k] = append(idx[k], id)
+		}
+		next.hash = cloneIndexMap(cur.hash)
+		next.hash[col] = idx
+		next.ord = withOrderedIndex(cur, col, ci)
+	})
+	return nil
+}
+
+// BuildOrderedIndex creates (or rebuilds) an ordered index on the
+// named column: row ids sorted by column value (NULLs first,
+// store.Compare order). It enables LookupRange for range predicates.
+func (t *Table) BuildOrderedIndex(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return errNoColumn(t, col)
 	}
-	t.hash[col] = idx
-	return t.BuildOrderedIndex(col)
+	t.publishIndex(func(cur, next *tableData) {
+		next.ord = withOrderedIndex(cur, col, ci)
+	})
+	return nil
+}
+
+func cloneIndexMap(m map[string]map[string][]int) map[string]map[string][]int {
+	out := make(map[string]map[string][]int, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// HasIndex reports whether the column currently has a hash index.
+func (t *Table) HasIndex(col string) bool { return t.Snap().HasIndex(col) }
+
+// LookupIndex probes the current version's hash index (see
+// TableSnap.LookupIndex).
+func (t *Table) LookupIndex(col string, v Value) ([]int, bool) {
+	return t.Snap().LookupIndex(col, v)
+}
+
+// HasOrderedIndex reports whether the column currently has an ordered
+// index.
+func (t *Table) HasOrderedIndex(col string) bool { return t.Snap().HasOrderedIndex(col) }
+
+// LookupRange scans the current version's ordered index (see
+// TableSnap.LookupRange).
+func (t *Table) LookupRange(col string, lo, hi *Value, loIncl, hiIncl bool) ([]int, bool) {
+	return t.Snap().LookupRange(col, lo, hi, loIncl, hiIncl)
+}
+
+// Stats returns statistics for the named column at the current
+// version (see TableSnap.Stats).
+func (t *Table) Stats(col string) (ColStats, bool) { return t.Snap().Stats(col) }
+
+// ColVecs returns the current version's columnar layout (see
+// TableSnap.ColVecs).
+func (t *Table) ColVecs() []*ColVec { return t.Snap().ColVecs() }
+
+// DropIndex removes the hash and ordered indexes on the named column,
+// if any.
+func (t *Table) DropIndex(col string) {
+	t.publishIndex(func(cur, next *tableData) {
+		next.hash = cloneIndexMap(cur.hash)
+		delete(next.hash, col)
+		next.ord = make(map[string][]int, len(cur.ord))
+		for k, v := range cur.ord {
+			next.ord[k] = v
+		}
+		delete(next.ord, col)
+	})
 }
 
 func errNoColumn(t *Table, col string) error {
 	return fmt.Errorf("store: table %s has no column %s", t.Meta.Name, col)
-}
-
-// HasIndex reports whether the column has a hash index.
-func (t *Table) HasIndex(col string) bool {
-	_, ok := t.hash[col]
-	return ok
-}
-
-// LookupIndex returns the ids of rows whose column equals v, using the
-// hash index. The second result is false when no index exists.
-func (t *Table) LookupIndex(col string, v Value) ([]int, bool) {
-	idx, ok := t.hash[col]
-	if !ok {
-		return nil, false
-	}
-	return idx[v.Key()], true
 }
 
 // DB is a collection of populated tables bound to a schema.
@@ -233,8 +263,8 @@ func (db *DB) Insert(table string, vals ...Value) error {
 	return t.Insert(vals...)
 }
 
-// BulkInsert adds many rows to the named table with index maintenance
-// deferred (see Table.BulkInsert).
+// BulkInsert adds many rows to the named table as one atomically
+// published snapshot (see Table.BulkInsert).
 func (db *DB) BulkInsert(table string, rows []Row) error {
 	t := db.tables[table]
 	if t == nil {
@@ -280,33 +310,37 @@ func (db *DB) BuildPrimaryIndexes() error {
 	return nil
 }
 
-// DropIndex removes the hash and ordered indexes on the named column,
-// if any.
-func (t *Table) DropIndex(col string) {
-	delete(t.hash, col)
-	delete(t.ord, col)
-}
-
 // DropAllIndexes removes every index in the database — the "scan"
 // configuration of the access-path experiment (F2).
 func (db *DB) DropAllIndexes() {
 	for _, t := range db.tables {
-		t.hash = make(map[string]map[string][]int)
-		t.ord = nil
+		t.publishIndex(func(cur, next *tableData) {
+			next.hash = nil
+			next.ord = nil
+		})
 	}
 }
 
 // DataVersion is a monotonic counter over the database's contents:
 // any row mutation changes it, so equal versions imply equal data.
-// Caches keyed on query inputs (the engine answer cache) use it as
-// their invalidation token. Reads are safe concurrently with queries;
-// mutation remains single-writer by the store's contract.
+// Whole-database caches use it as their invalidation token; caches
+// that want write locality should key on per-table versions instead
+// (TableVersion), which writes to other tables leave untouched.
 func (db *DB) DataVersion() uint64 {
 	var v uint64
 	for _, t := range db.tables {
-		v += t.version.Load()
+		v += t.Version()
 	}
 	return v
+}
+
+// TableVersion returns the named table's current data version, or 0
+// for an unknown table.
+func (db *DB) TableVersion(name string) uint64 {
+	if t := db.tables[name]; t != nil {
+		return t.Version()
+	}
+	return 0
 }
 
 // TotalRows returns the number of rows across all tables.

@@ -1,12 +1,15 @@
 // Package store is the in-memory relational storage engine underneath
-// the natural language interface: typed values, tables with hash
-// indexes, and a database bound to a schema. The SQL executor
-// (internal/exec) evaluates generated queries against it.
+// the natural language interface: typed values, tables with hash and
+// ordered indexes, per-column statistics and a columnar layout, and a
+// database bound to a schema. The SQL executor (internal/exec)
+// evaluates generated queries against it.
 //
-// The engine is deliberately single-writer/obvious: era NLIDB systems
-// ran against a private snapshot of the data, and all evaluation here
-// happens on immutable loaded datasets. It is not safe for concurrent
-// mutation.
+// The store is multi-version (see snapshot.go): each table's contents
+// live in immutable versions, writers build the next version
+// copy-on-write and publish it atomically, and readers pin a Snapshot
+// that is frozen for as long as they hold it. Concurrent writers to
+// one table serialize on its writer lock; readers never block and are
+// never exposed to a partially-applied write.
 package store
 
 import (
