@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -438,6 +439,53 @@ func BenchmarkAskCachedMixed(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(hits)/float64(b.N), "hit-ratio")
+}
+
+// BenchmarkF9PreparedPlanCache measures the prepared-query serving
+// path: the F9 template workload (same shapes, rotating constants,
+// answer cache off) asked through an engine whose plan-template cache
+// is on versus one planning from scratch, with the realized plan-cache
+// hit ratio reported. The allocation counts guard the bind path — the
+// shape key and constants are computed into pooled scratch, so a
+// plan-cache hit must not regress into per-ask planning allocations.
+func BenchmarkF9PreparedPlanCache(b *testing.B) {
+	questions := func() []string {
+		var qs []string
+		for _, shape := range bench.PreparedWorkload() {
+			qs = append(qs, shape...)
+		}
+		return qs
+	}()
+	run := func(b *testing.B, planCache int) {
+		opts := DefaultOptions()
+		opts.AnswerCacheSize = 0
+		opts.PlanCacheSize = planCache
+		opts.Parallelism = 1
+		eng := New(dataset.University(1), opts)
+		for _, q := range questions { // warm (and compile the templates)
+			if _, err := eng.Ask(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var planStage time.Duration
+		for i := 0; i < b.N; i++ {
+			ans, err := eng.Ask(questions[i%len(questions)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			planStage += ans.Timings.Plan + ans.Timings.Bind
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(planStage.Nanoseconds())/float64(b.N), "plan-ns/op")
+		hits, misses := eng.PlanCacheStats()
+		if hits+misses > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+misses), "hit-ratio")
+		}
+	}
+	b.Run("plan-cached", func(b *testing.B) { run(b, 256) })
+	b.Run("cold-planned", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkF8ConcurrentReadWrite measures read latency with and

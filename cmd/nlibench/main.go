@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|all]
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|all]
 package main
 
 import (
@@ -35,8 +35,9 @@ func main() {
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
 		"F5": expF5, "F6": expF6, "F7": expF7, "F8": expF8,
+		"F9": expF9,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -565,6 +566,48 @@ func expF8() error {
 	}
 	if afterSelf.Cached {
 		return fmt.Errorf("F8: write to students did not evict its cached answer")
+	}
+	return nil
+}
+
+// expF9 measures the prepared-query layer: a template workload (same
+// question shapes, rotating constants, answer cache disabled) runs
+// through an engine with the plan-template cache and one without.
+// Constant-differing asks must hit the cache (ratio bar: 90%) and the
+// planning stage must collapse to a bind (bar: 5x cheaper than cold
+// planning, compared at per-ask medians — the stage is microseconds,
+// so a stray GC cycle would dominate a mean). Both engines must
+// answer every question row-for-row identically, which RunF9 itself
+// enforces.
+func expF9() error {
+	header("F9", "prepared-query plan cache: template workload with rotating constants")
+	r, err := bench.RunF9(2, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-38s %8d (%d shapes)\n", "asks (answer cache off)", r.Asks, r.Shapes)
+	fmt.Printf("%-38s %8d / %d\n", "plan-cache hits / misses", r.Hits, r.Misses)
+	fmt.Printf("%-38s %8s   (bar: 90%%)\n", "hit ratio", pct(r.HitRatio()))
+	fmt.Printf("%-38s %8s\n", "plan stage, cold (median)", r.ColdPlan)
+	fmt.Printf("%-38s %8s   (normalize + lookup + bind)\n", "plan stage, cached (median)", r.HotPlan)
+	fmt.Printf("%-38s %7.1fx   (bar: 5x)\n", "plan-stage speedup", r.PlanSpeedup())
+
+	fmt.Printf("\n%-12s %10s %10s %10s %10s %10s %10s\n",
+		"per-stage", "rank", "generate", "plan", "bind", "execute", "total")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s\n", "with cache",
+		r.Hot.Rank, r.Hot.Generate, r.Hot.Plan, r.Hot.Bind, r.Hot.Execute, r.Hot.Total)
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s\n", "without",
+		r.Cold.Rank, r.Cold.Generate, r.Cold.Plan, r.Cold.Bind, r.Cold.Execute, r.Cold.Total)
+
+	if r.HitRatio() < 0.9 {
+		return fmt.Errorf("F9: plan-cache hit ratio %.1f%% below the 90%% bar", 100*r.HitRatio())
+	}
+	// The experiment's bar is 5x; the hard failure threshold is looser
+	// because a loaded 1-core CI container adds scheduling noise even
+	// to medians. What must never happen is the cache failing to cut
+	// planning at all.
+	if r.PlanSpeedup() < 3 {
+		return fmt.Errorf("F9: plan-stage speedup %.1fx collapsed (bar 5x, hard floor 3x)", r.PlanSpeedup())
 	}
 	return nil
 }

@@ -204,6 +204,7 @@ type StageProfile struct {
 	Rank     time.Duration
 	Generate time.Duration
 	Plan     time.Duration
+	Bind     time.Duration // plan-cache hits: normalize + lookup + bind
 	Execute  time.Duration
 	Total    time.Duration
 }
@@ -217,26 +218,10 @@ func Profile(e *core.Engine, questions []string) StageProfile {
 		if err != nil {
 			continue
 		}
-		p.N++
-		p.Correct += ans.Timings.Correct
-		p.Annotate += ans.Timings.Annotate
-		p.Parse += ans.Timings.Parse
-		p.Rank += ans.Timings.Rank
-		p.Generate += ans.Timings.Generate
-		p.Plan += ans.Timings.Plan
-		p.Execute += ans.Timings.Execute
-		p.Total += ans.Timings.Total
+		accumulate(&p, ans)
 	}
 	if p.N > 0 {
-		n := time.Duration(p.N)
-		p.Correct /= n
-		p.Annotate /= n
-		p.Parse /= n
-		p.Rank /= n
-		p.Generate /= n
-		p.Plan /= n
-		p.Execute /= n
-		p.Total /= n
+		finishProfile(&p)
 	}
 	return p
 }

@@ -43,6 +43,13 @@ type Options struct {
 	// by corrected tokens and invalidated by the store data version.
 	// 0 disables caching — set that when measuring pipeline latency.
 	AnswerCacheSize int
+
+	// PlanCacheSize bounds the plan-template cache (entries), keyed by
+	// query shape (parameterized SQL + constant kinds) and validated
+	// against per-table stats epochs: questions repeating a shape with
+	// different constants skip planning and pay only a bind. 0 disables
+	// the cache — every ask then plans from scratch (the F9 ablation).
+	PlanCacheSize int
 }
 
 // DefaultOptions enables everything with spelling correction at
@@ -56,6 +63,7 @@ func DefaultOptions() Options {
 		SpellMaxDist:    1,
 		Parallelism:     runtime.GOMAXPROCS(0),
 		AnswerCacheSize: 1024,
+		PlanCacheSize:   256,
 	}
 }
 
@@ -66,7 +74,8 @@ type Timings struct {
 	Parse    time.Duration // semantic-grammar parsing
 	Rank     time.Duration // interpretation ranking
 	Generate time.Duration // IQL -> SQL translation
-	Plan     time.Duration // query planning and optimization
+	Plan     time.Duration // query planning and optimization (template compiles included)
+	Bind     time.Duration // plan-cache hit: normalize + shape lookup + bind, no planning
 	Execute  time.Duration // plan execution
 	Total    time.Duration
 }
@@ -83,7 +92,16 @@ type Answer struct {
 	Paraphrase  string // English echo of the interpretation
 	Response    string // English rendering of the result
 	Cached      bool   // served from the answer cache, pipeline skipped
-	Timings     Timings
+	PlanCached  bool   // plan served from the template cache: bound, not planned
+
+	// PlanCacheHits / PlanCacheMisses are the engine's cumulative
+	// plan-template cache counters at the time this answer was
+	// produced — the serving-path observability the F9 experiment
+	// reads its hit ratio from.
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+
+	Timings Timings
 }
 
 // Ambiguity reports how contested the interpretation was.
@@ -98,6 +116,7 @@ type Engine struct {
 	G     *grammar.Grammar
 	opts  Options
 	cache *answerCache // nil when AnswerCacheSize is 0
+	plans *planCache   // nil when PlanCacheSize is 0
 }
 
 // NewEngine builds the semantic index and grammar for db.
@@ -115,7 +134,19 @@ func NewEngine(db *store.DB, opts Options) *Engine {
 	if opts.AnswerCacheSize > 0 {
 		e.cache = newAnswerCache(opts.AnswerCacheSize)
 	}
+	if opts.PlanCacheSize > 0 {
+		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
 	return e
+}
+
+// PlanCacheStats returns the cumulative plan-template cache hit/miss
+// counters (zeros when the cache is disabled).
+func (e *Engine) PlanCacheStats() (hits, misses uint64) {
+	if e.plans == nil {
+		return 0, 0
+	}
+	return e.plans.stats()
 }
 
 // Name identifies the full pipeline in benchmark reports.
@@ -217,10 +248,16 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 
 	ans, stmt, tm, err := e.interpretTokens(question, toks, fixes, correct)
 	if err != nil {
+		// Failed asks report their stage latencies too: the serving
+		// dashboards aggregate error paths as much as successes.
+		tm.Total = time.Since(total)
+		ans.Timings = tm
 		return ans, err
 	}
 	sn := e.DB.Snapshot()
 	if err := e.execute(ans, stmt, sn, &tm); err != nil {
+		tm.Total = time.Since(total)
+		ans.Timings = tm
 		return ans, err
 	}
 	tm.Total = time.Since(total)
@@ -232,19 +269,18 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 }
 
 // execute plans stmt at the engine's parallelism degree against the
-// pinned snapshot, runs it on that same snapshot and verbalizes the
-// result into ans, filling the plan/execute timings.
+// pinned snapshot — through the plan-template cache when enabled —
+// runs it on that same snapshot and verbalizes the result into ans,
+// filling the plan/bind/execute timings.
 func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, tm *Timings) error {
-	start := time.Now()
-	p, err := exec.BuildPlanParallelAt(sn, stmt, e.opts.Parallelism)
-	tm.Plan = time.Since(start)
+	p, params, err := e.planFor(ans, stmt, sn, tm)
 	if err != nil {
 		return fmt.Errorf("core: planning %q: %w", stmt, err)
 	}
 	ans.Plan = p
 
-	start = time.Now()
-	res, err := exec.RunAt(sn, p)
+	start := time.Now()
+	res, err := exec.RunBoundAt(sn, p, params)
 	tm.Execute = time.Since(start)
 	if err != nil {
 		return fmt.Errorf("core: executing %q: %w", stmt, err)
@@ -254,6 +290,107 @@ func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, 
 	ans.Response = nlg.Respond(ans.Query, res, e.DB.Schema)
 	return nil
 }
+
+// planFor obtains the execution plan for stmt, plus the parameter
+// vector execution must bind (nil on the one-shot path). With the
+// plan-template cache enabled, the statement is normalized into a
+// template and constant vector, the cache is consulted under the
+// shape key, and a hit skips planning entirely: the cached template
+// re-binds to the new constants (Timings.Bind), re-checking its
+// selectivity-sensitive choices against the pinned snapshot's
+// statistics. A miss compiles and caches a fresh template
+// (Timings.Plan), fingerprinted with the snapshot's table versions so
+// stats drift invalidates it.
+func (e *Engine) planFor(ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, tm *Timings) (*plan.Plan, []store.Value, error) {
+	if e.plans == nil {
+		start := time.Now()
+		p, err := exec.BuildPlanParallelAt(sn, stmt, e.opts.Parallelism)
+		tm.Plan = time.Since(start)
+		return p, nil, err
+	}
+	start := time.Now()
+	// The hit path computes shape key and constants in one pass over
+	// the statement into pooled scratch: no template tree, no key
+	// string, no allocation at all unless we must compile — GC assists
+	// from the surrounding pipeline then never land inside a bind.
+	sc := shapeScratchPool.Get().(*shapeScratch)
+	keyBytes, params := sql.ShapeInto(stmt, sc.buf[:0], sc.params[:0])
+	if pq := e.plans.lookup(keyBytes, sn); pq != nil {
+		if !pq.Tmpl.IndexesLive(sn) {
+			// Permanently stale: index DDL is invisible to the version
+			// fingerprint, and every future bind of this entry would
+			// recompile. Drop it and fall through to the miss path,
+			// which stores a fresh template — the shape turns hot
+			// again instead of cold-planning through the cache forever.
+			e.plans.remove(string(keyBytes))
+			e.plans.demote()
+		} else {
+			// The lookup just revalidated the stats epoch against sn,
+			// and the shape key encodes the kind signature: bind
+			// pinned.
+			p, reused, err := pq.BindPinned(sn, params, e.opts.Parallelism)
+			if err == nil {
+				// A bind that had to recompile (an outlier constant
+				// moved a plan decision) is honest about it: the cost
+				// is planning, not binding, the answer is not
+				// plan-cached, and the counters agree.
+				if reused {
+					tm.Bind = time.Since(start)
+					ans.PlanCached = true
+				} else {
+					tm.Plan = time.Since(start)
+					e.plans.demote()
+				}
+				// Execution outlives the scratch: hand it an exact
+				// copy (made outside the timed window — it is pool
+				// mechanics, not plan work).
+				bound := append(make([]store.Value, 0, len(params)), params...)
+				ans.PlanCacheHits, ans.PlanCacheMisses = e.plans.stats()
+				sc.recycle(keyBytes, params)
+				return p, bound, nil
+			}
+			// A cached template that stopped binding (schema drift
+			// broke its shape contract) is dropped and recompiled
+			// below.
+			e.plans.remove(string(keyBytes))
+			e.plans.demote()
+		}
+	}
+	key := string(keyBytes)
+	sc.recycle(keyBytes, params)
+	// The compile path re-derives the constants alongside the template
+	// tree; Parameterize and ShapeInto agree on slot order by contract.
+	tmpl, bound := sql.Parameterize(stmt)
+	pq, err := exec.PrepareTemplateAt(sn, tmpl, bound, e.opts.Parallelism)
+	if err != nil {
+		tm.Plan = time.Since(start)
+		return nil, nil, err
+	}
+	e.plans.store(key, pq, snapshotDeps(sql.Tables(tmpl), sn))
+	// The template was compiled at this snapshot, binding and degree:
+	// its cached plan IS the bind result, no re-derivation needed.
+	p := pq.Tmpl.Plan()
+	tm.Plan = time.Since(start)
+	ans.PlanCacheHits, ans.PlanCacheMisses = e.plans.stats()
+	return p, bound, nil
+}
+
+// shapeScratch is the pooled working memory of one planFor call: the
+// shape-key buffer and constant vector are reused across asks so the
+// plan-cache hit path performs no heap allocation.
+type shapeScratch struct {
+	buf    []byte
+	params []store.Value
+}
+
+func (sc *shapeScratch) recycle(buf []byte, params []store.Value) {
+	sc.buf, sc.params = buf[:0], params[:0]
+	shapeScratchPool.Put(sc)
+}
+
+var shapeScratchPool = sync.Pool{New: func() any {
+	return &shapeScratch{buf: make([]byte, 0, 256), params: make([]store.Value, 0, 8)}
+}}
 
 // Conversation is a multi-turn session over the engine. The dialogue
 // context is mutable state, so a Conversation serializes its own turns
@@ -296,6 +433,15 @@ func (c *Conversation) Context() *iql.Query {
 // turn executes against its own pinned store snapshot, so a
 // conversation keeps answering consistently while a bulk load runs —
 // later turns simply observe later versions.
+//
+// Standalone (non-follow-up) turns share the engine answer cache with
+// single-shot asks: a full parse of the same corrected tokens always
+// yields the same interpretation regardless of context, so a repeated
+// standalone question inside a conversation is served cached, skipping
+// generation, planning and execution. The dialogue context still
+// advances — the parse above the cache updates it either way.
+// Follow-ups never touch the cache: their meaning depends on context,
+// not just on their tokens.
 func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -307,22 +453,43 @@ func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 		return nil, false, err
 	}
 	tm := Timings{Correct: correct, Annotate: turn.Annotate, Parse: turn.Parse, Rank: turn.Rank}
+
+	var key string
+	if c.e.cache != nil && !turn.FollowUp {
+		key = cacheKey(toks)
+		if hit := c.e.cache.lookup(key, c.e.DB.TableVersion); hit != nil {
+			ans := snapshotAnswer(hit)
+			ans.Question = question
+			ans.Corrections = fixes // this turn's repairs, not the cached ask's
+			ans.Cached = true
+			tm.Total = time.Since(total)
+			ans.Timings = tm
+			return ans, false, nil
+		}
+	}
+
 	ans := &Answer{Question: question, Corrections: fixes, Ranked: turn.Ranked, Query: turn.Query}
 
 	start := time.Now()
 	stmt, err := iql.ToSQL(turn.Query, c.e.DB.Schema)
 	tm.Generate = time.Since(start)
 	if err != nil {
+		tm.Total = time.Since(total)
 		ans.Timings = tm
 		return ans, turn.FollowUp, err
 	}
 	ans.SQL = stmt
 
-	if err := c.e.execute(ans, stmt, c.e.DB.Snapshot(), &tm); err != nil {
+	sn := c.e.DB.Snapshot()
+	if err := c.e.execute(ans, stmt, sn, &tm); err != nil {
+		tm.Total = time.Since(total)
 		ans.Timings = tm
 		return ans, turn.FollowUp, err
 	}
 	tm.Total = time.Since(total)
 	ans.Timings = tm
+	if c.e.cache != nil && !turn.FollowUp {
+		c.e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), snapshotAnswer(ans), c.e.DB.TableVersion)
+	}
 	return ans, turn.FollowUp, nil
 }

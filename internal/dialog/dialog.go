@@ -66,6 +66,14 @@ func (s *Session) Ask(question string) (*Turn, error) {
 // engine uses so spelling-corrected tokens reach the parser directly
 // instead of round-tripping through a string (which is lossy for
 // values containing punctuation).
+//
+// Invariant the engine's caches rely on: a full-question parse never
+// consults the conversational context — context only enters on the
+// fragment (follow-up) path, after the full grammar has rejected the
+// turn. A non-follow-up turn's interpretation is therefore a pure
+// function of its tokens, which is what lets core.Conversation serve
+// repeated standalone turns from the engine answer cache keyed on
+// corrected tokens alone.
 func (s *Session) AskTokens(toks []strutil.Token) (*Turn, error) {
 	turn := &Turn{}
 

@@ -29,6 +29,11 @@ func (ex *executor) eval(f *plan.Frame, e sql.Expr) (store.Value, error) {
 		return resolveValue(f, n)
 	case sql.Literal:
 		return n.Val, nil
+	case sql.Param:
+		if n.Idx < 0 || n.Idx >= len(ex.params) {
+			return store.Value{}, fmt.Errorf("exec: unbound parameter $%d", n.Idx+1)
+		}
+		return ex.params[n.Idx], nil
 	case *sql.BinaryExpr:
 		return ex.evalBinary(f, n)
 	case *sql.NotExpr:

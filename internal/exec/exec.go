@@ -174,6 +174,12 @@ type executor struct {
 	corrCache map[*sql.SelectStmt]bool // memoized correlation verdicts
 	reference bool                     // route subqueries through the reference path too
 	noVec     bool                     // force row-at-a-time execution (ablation)
+
+	// params is the parameter vector of a prepared execution: the
+	// values sql.Param slots evaluate to, shared by the outer plan and
+	// every subquery (slots are numbered across the whole statement
+	// tree). nil for fully-literal statements.
+	params []store.Value
 }
 
 func newExecutor(sn *store.Snapshot) *executor {
@@ -186,7 +192,8 @@ func newExecutor(sn *store.Snapshot) *executor {
 }
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
-	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent, NoVec: ex.noVec})
+	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent,
+		NoVec: ex.noVec, Params: ex.params})
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +214,7 @@ func (ex *executor) selectStmt(stmt *sql.SelectStmt, parent *plan.Frame) (*Resul
 	ex.mu.Unlock()
 	if !ok {
 		var err error
-		p, err = plan.Compile(ex.sn, stmt)
+		p, err = plan.CompileWith(ex.sn, stmt, ex.params)
 		if err != nil {
 			return nil, err
 		}

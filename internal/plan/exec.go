@@ -26,6 +26,12 @@ type Ctx struct {
 	Parent *Frame
 	Par    int // worker budget; <= 1 executes serially
 
+	// Params is the parameter vector of a prepared execution: the
+	// values sql.Param slots in the plan's expressions (and the
+	// parameter-slot probes of index scans) resolve to. nil for plans
+	// compiled from fully-literal statements.
+	Params []store.Value
+
 	// NoVec forces row-at-a-time execution everywhere — the ablation
 	// and differential-testing baseline for the vectorized engine.
 	NoVec bool
@@ -141,18 +147,60 @@ func (s *Scan) open(ctx *Ctx) (iter, error) {
 	return projectRows(rows, s.B), nil
 }
 
+// probeVals resolves the scan's probe and bounds against the run's
+// parameter vector: slot-carrying scans read Ctx.Params, literal scans
+// return their baked values.
+func (s *IndexScan) probeVals(ctx *Ctx) (eq, lo, hi *store.Value, err error) {
+	eq, lo, hi = s.Eq, s.Lo, s.Hi
+	at := func(slot int) (*store.Value, error) {
+		if slot >= len(ctx.Params) {
+			return nil, fmt.Errorf("plan: index scan on %s.%s references unbound parameter $%d",
+				s.B.Meta.Name, s.Col, slot+1)
+		}
+		v := ctx.Params[slot]
+		return &v, nil
+	}
+	if s.EqP >= 0 {
+		if eq, err = at(s.EqP); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if s.LoP >= 0 {
+		if lo, err = at(s.LoP); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if s.HiP >= 0 {
+		if hi, err = at(s.HiP); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return eq, lo, hi, nil
+}
+
 // lookupIDs resolves the index probe or range into matching row ids.
 func (s *IndexScan) lookupIDs(ctx *Ctx) ([]int, error) {
 	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
+	eq, lo, hi, err := s.probeVals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// A NULL probe or bound means the consumed conjunct compares
+	// against NULL: three-valued logic makes it NULL for every row, so
+	// the scan matches nothing. (The optimizer never consumes NULL
+	// literals, but a parameter slot can be bound to NULL at run time.)
+	if (eq != nil && eq.IsNull()) || (lo != nil && lo.IsNull()) || (hi != nil && hi.IsNull()) {
+		return nil, nil
+	}
 	var ids []int
 	var ok bool
-	if s.Eq != nil {
-		ids, ok = tab.LookupIndex(s.Col, *s.Eq)
+	if eq != nil {
+		ids, ok = tab.LookupIndex(s.Col, *eq)
 	} else {
-		ids, ok = tab.LookupRange(s.Col, s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+		ids, ok = tab.LookupRange(s.Col, lo, hi, s.LoIncl, s.HiIncl)
 	}
 	if !ok {
 		return nil, fmt.Errorf("plan: index on %s.%s disappeared after planning",

@@ -63,23 +63,31 @@ func (s *Scan) describe() string {
 }
 
 func (s *IndexScan) describe() string {
+	slot := func(p int) string { return sql.Param{Idx: p}.String() }
 	var cond string
-	if s.Eq != nil {
+	switch {
+	case s.EqP >= 0:
+		cond = fmt.Sprintf("%s = %s", s.Col, slot(s.EqP))
+	case s.Eq != nil:
 		cond = fmt.Sprintf("%s = %s", s.Col, s.Eq)
-	} else {
+	default:
 		lo, hi := "-inf", "+inf"
 		lob, hib := "(", ")"
-		if s.Lo != nil {
+		if s.LoP >= 0 {
+			lo = slot(s.LoP)
+		} else if s.Lo != nil {
 			lo = s.Lo.String()
-			if s.LoIncl {
-				lob = "["
-			}
 		}
-		if s.Hi != nil {
+		if lo != "-inf" && s.LoIncl {
+			lob = "["
+		}
+		if s.HiP >= 0 {
+			hi = slot(s.HiP)
+		} else if s.Hi != nil {
 			hi = s.Hi.String()
-			if s.HiIncl {
-				hib = "]"
-			}
+		}
+		if hi != "+inf" && s.HiIncl {
+			hib = "]"
 		}
 		cond = fmt.Sprintf("%s in %s%s, %s%s", s.Col, lob, lo, hi, hib)
 	}

@@ -14,7 +14,18 @@ import (
 // compiled and run against the same Snapshot is internally consistent
 // even while writers publish new versions.
 func Compile(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
-	return optimizeStmt(sn, stmt)
+	return optimizeStmt(sn, stmt, nil)
+}
+
+// CompileWith compiles a parameterized statement (sql.Param slots in
+// place of lifted literals) against the values it is bound to. The
+// optimizer plans parameter-carrying conjuncts exactly as it would
+// their literal forms — index probes, range bounds, selectivity
+// estimates all resolve through params — but emits parameter *slots*
+// into the plan's scans, so the compiled tree stays valid for any
+// later binding of the same shape (see Template).
+func CompileWith(sn *store.Snapshot, stmt *sql.SelectStmt, params []store.Value) (*Plan, error) {
+	return optimizeStmt(sn, stmt, params)
 }
 
 // Optimize rewrites a naive plan using table statistics from the
@@ -27,13 +38,26 @@ func Compile(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
 // logic is preserved because a top-level AND accepts a row only when
 // every conjunct is exactly TRUE.
 func Optimize(sn *store.Snapshot, p *Plan) (*Plan, error) {
-	return optimizeStmt(sn, p.Stmt)
+	return optimizeStmt(sn, p.Stmt, nil)
 }
 
-func optimizeStmt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
+func optimizeStmt(sn *store.Snapshot, stmt *sql.SelectStmt, params []store.Value) (*Plan, error) {
+	p, _, err := optimize(sn, stmt, params, false)
+	return p, err
+}
+
+// optimizeChecked is optimizeStmt plus a record of every selectivity-
+// sensitive decision the plan bakes in — the bindChecks a Template
+// revalidates cheaply at bind time before reusing its cached plan.
+// One-shot compiles skip building the record.
+func optimizeChecked(sn *store.Snapshot, stmt *sql.SelectStmt, params []store.Value) (*Plan, *bindChecks, error) {
+	return optimize(sn, stmt, params, true)
+}
+
+func optimize(sn *store.Snapshot, stmt *sql.SelectStmt, params []store.Value, wantChecks bool) (*Plan, *bindChecks, error) {
 	bindings, err := bindFrom(sn, stmt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pruneColumns(bindings, stmt)
 
@@ -42,8 +66,9 @@ func optimizeStmt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
 	// Choose an access path per binding.
 	scans := make([]Node, len(bindings))
 	est := make([]float64, len(bindings))
+	pps := make([]pathPlan, len(bindings))
 	for i, b := range bindings {
-		scans[i], est[i] = accessPath(sn, b, cls.pushed[i])
+		scans[i], est[i], pps[i] = accessPath(sn, b, cls.pushed[i], params)
 	}
 
 	order := greedyJoinOrder(sn, bindings, est, cls.joins)
@@ -95,7 +120,61 @@ func optimizeStmt(sn *store.Snapshot, stmt *sql.SelectStmt) (*Plan, error) {
 	}
 
 	// SELECT * must expand in FROM order regardless of join order.
-	return finishPlan(root, fromOrderRel(bindings), stmt)
+	p, err := finishPlan(root, fromOrderRel(bindings), stmt)
+	if err != nil || !wantChecks {
+		return p, nil, err
+	}
+	checks := &bindChecks{
+		bindings: bindings,
+		pushed:   cls.pushed,
+		joins:    cls.joins,
+		paths:    pps,
+		order:    order,
+		work:     simulateWork(sn, bindings, pps, cls.joins, order),
+	}
+	for i := range pps {
+		if pps[i].choice.kind == pathRange && (pps[i].loP >= 0 || pps[i].hiP >= 0) {
+			checks.valueSensitive = true
+		}
+	}
+	return p, checks, nil
+}
+
+// simulateWork re-derives the pipeline-work gate input (the largest
+// estimated operator cardinality, as pipelineWork reads off the built
+// tree) from per-binding path estimates alone, without building nodes.
+// Template compilation records this number and Bind recomputes it with
+// the same function, so the parallelize-gate comparison is exact for
+// identical inputs.
+func simulateWork(sn *store.Snapshot, bindings []Binding, pps []pathPlan, joins []boundJoin, order []int) int {
+	work := 0
+	for i := range pps {
+		if w := ceilEst(pps[i].scanEst); w > work {
+			work = w
+		}
+	}
+	if len(order) < 2 {
+		return work
+	}
+	used := make([]bool, len(joins))
+	placed := map[int]bool{order[0]: true}
+	outEst := pps[order[0]].outEst
+	for _, bi := range order[1:] {
+		sel := 1.0
+		for ci, jc := range joins {
+			if used[ci] || !connects(jc, placed, bi) {
+				continue
+			}
+			used[ci] = true
+			sel *= joinSelectivity(sn, bindings, jc)
+		}
+		outEst = outEst * pps[bi].outEst * sel
+		if w := ceilEst(outEst); w > work {
+			work = w
+		}
+		placed[bi] = true
+	}
+	return work
 }
 
 // fromOrderRel lays the bindings out in declaration order (offsets are
@@ -261,24 +340,79 @@ func walkRefs(e sql.Expr, visit func(sql.ColumnRef)) {
 	}
 }
 
-// accessPath picks the cheapest way to read one table under its pushed
+// pathKind classifies the access path chosen for one binding.
+type pathKind uint8
+
+const (
+	pathFullScan pathKind = iota
+	pathEq
+	pathRange
+)
+
+// pathChoice is the stats- and value-sensitive core of an access-path
+// decision. Template.Bind recomputes choices from the bound values and
+// the snapshot's statistics and compares them against the compiled
+// plan's — a mismatch (stats drift, a dropped index, an outlier
+// constant) forces a fresh compile instead of reusing the cached tree.
+type pathChoice struct {
+	kind pathKind
+	col  string
+}
+
+// pathPlan is one binding's fully-resolved access path: the choice,
+// the probe values or parameter slots to scan with, the pushed
+// conjuncts the path consumed, and the cardinality estimates.
+type pathPlan struct {
+	choice         pathChoice
+	eq             *store.Value
+	lo, hi         *store.Value
+	eqP, loP, hiP  int
+	loIncl, hiIncl bool
+	used           []bool     // pushed conjuncts consumed by the path
+	leftover       []sql.Expr // pushed conjuncts the path did not consume
+	scanEst        float64    // estimated rows out of the scan node
+	outEst         float64    // estimated rows after leftover filters
+}
+
+// sameDecision reports whether two path plans over the same pushed
+// conjuncts made identical decisions — not just the same access-path
+// kind and column, but the same probe/bound slot assignment and the
+// same consumed-conjunct set. Template.Bind requires full equality
+// before reusing a cached tree: with several bounds competing on one
+// column, different constants can keep the choice (range on col) while
+// switching which conjunct supplies a bound, and the cached plan's
+// baked slots would then enforce the wrong one.
+func (pp *pathPlan) sameDecision(other *pathPlan) bool {
+	if pp.choice != other.choice ||
+		pp.eqP != other.eqP || pp.loP != other.loP || pp.hiP != other.hiP ||
+		pp.loIncl != other.loIncl || pp.hiIncl != other.hiIncl ||
+		len(pp.used) != len(other.used) {
+		return false
+	}
+	for i := range pp.used {
+		if pp.used[i] != other.used[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planPath picks the cheapest way to read one table under its pushed
 // conjuncts: an index equality probe, an index range scan, or a full
-// scan; leftover conjuncts become a filter above it.
-func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr) (Node, float64) {
+// scan. Probes and bounds resolve through the compile-time parameter
+// vector; conjuncts the path does not consume stay for a filter.
+func planPath(sn *store.Snapshot, b Binding, pushed []sql.Expr, params []store.Value) pathPlan {
 	tab := sn.Table(b.Meta.Name)
 	n := float64(tab.Len())
-	rel := relFor(b)
-
-	var node Node
-	used := make([]bool, len(pushed))
+	pp := pathPlan{eqP: -1, loP: -1, hiP: -1, used: make([]bool, len(pushed))}
 
 	// Best indexed equality probe: highest distinct count wins. NULL
 	// literals never take an index path — "col = NULL" must evaluate
 	// to NULL (reject) per 3VL, not match NULL-keyed index entries.
 	bestEq, bestDistinct := -1, 0
 	for i, c := range pushed {
-		col, lit, ok := EqColLiteral(c)
-		if !ok || lit.Val.IsNull() || !tab.HasIndex(col.Column) {
+		col, v, _, ok := eqColConst(c, params)
+		if !ok || v.IsNull() || !tab.HasIndex(col.Column) {
 			continue
 		}
 		if st, ok := tab.Stats(col.Column); ok && st.Distinct > bestDistinct {
@@ -286,58 +420,106 @@ func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr) (Node, float64
 		}
 	}
 	if bestEq >= 0 {
-		col, lit, _ := EqColLiteral(pushed[bestEq])
-		used[bestEq] = true
-		v := lit.Val
+		col, v, slot, _ := eqColConst(pushed[bestEq], params)
+		pp.used[bestEq] = true
 		st, _ := tab.Stats(col.Column)
 		n = n * st.Selectivity()
-		node = &IndexScan{B: b, Col: col.Column, Eq: &v, Est: ceilEst(n), rel: rel}
-	} else if col, lo, hi, loIncl, hiIncl, idxs := rangeBounds(tab, pushed); col != "" {
-		for _, i := range idxs {
-			used[i] = true
+		pp.choice = pathChoice{kind: pathEq, col: col.Column}
+		if slot >= 0 {
+			pp.eqP = slot
+		} else {
+			pp.eq = &v
 		}
-		n = n * rangeSelectivity(tab, col, lo, hi)
-		node = &IndexScan{B: b, Col: col, Lo: lo, Hi: hi,
-			LoIncl: loIncl, HiIncl: hiIncl, Est: ceilEst(n), rel: rel}
-	} else {
-		node = &Scan{B: b, Est: ceilEst(n), rel: rel}
+	} else if rc := rangeBounds(tab, pushed, params); rc.col != "" {
+		for _, i := range rc.used {
+			pp.used[i] = true
+		}
+		n = n * rangeSelectivity(tab, rc.col, rc.lo, rc.hi)
+		pp.choice = pathChoice{kind: pathRange, col: rc.col}
+		pp.loIncl, pp.hiIncl = rc.loIncl, rc.hiIncl
+		pp.loP, pp.hiP = rc.loP, rc.hiP
+		if rc.loP < 0 {
+			pp.lo = rc.lo
+		}
+		if rc.hiP < 0 {
+			pp.hi = rc.hi
+		}
 	}
+	pp.scanEst = n
 
-	var leftover []sql.Expr
 	for i, c := range pushed {
-		if !used[i] {
-			leftover = append(leftover, c)
+		if !pp.used[i] {
+			pp.leftover = append(pp.leftover, c)
 		}
 	}
-	if pred := sql.And(leftover...); pred != nil {
-		n *= selProduct(leftover)
-		node = &Filter{In: node, Pred: pred, Est: ceilEst(n)}
-	}
-	return node, n
+	pp.outEst = n * selProduct(pp.leftover)
+	return pp
 }
 
-// rangeBounds collects comparison conjuncts against literals on one
-// ordered-indexed column and merges them into a single range. The
-// column with the most usable bounds wins.
-func rangeBounds(tab *store.TableSnap, pushed []sql.Expr) (col string, lo, hi *store.Value, loIncl, hiIncl bool, used []int) {
+// accessPath materializes a binding's planned path into operator
+// nodes: the scan, plus a filter over the conjuncts the path left
+// behind.
+func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr, params []store.Value) (Node, float64, pathPlan) {
+	pp := planPath(sn, b, pushed, params)
+	rel := relFor(b)
+
+	var node Node
+	switch pp.choice.kind {
+	case pathEq:
+		node = &IndexScan{B: b, Col: pp.choice.col, Eq: pp.eq, EqP: pp.eqP,
+			LoP: -1, HiP: -1, Est: ceilEst(pp.scanEst), rel: rel}
+	case pathRange:
+		node = &IndexScan{B: b, Col: pp.choice.col, Lo: pp.lo, Hi: pp.hi,
+			EqP: -1, LoP: pp.loP, HiP: pp.hiP,
+			LoIncl: pp.loIncl, HiIncl: pp.hiIncl, Est: ceilEst(pp.scanEst), rel: rel}
+	default:
+		node = &Scan{B: b, Est: ceilEst(pp.scanEst), rel: rel}
+	}
+
+	if pred := sql.And(pp.leftover...); pred != nil {
+		node = &Filter{In: node, Pred: pred, Est: ceilEst(pp.outEst)}
+	}
+	return node, pp.outEst, pp
+}
+
+// rangeChoice is a merged index range over one column: resolved bound
+// values (for selectivity), the parameter slots they came from (-1 for
+// literals), and the consumed conjunct indexes.
+type rangeChoice struct {
+	col            string
+	lo, hi         *store.Value
+	loP, hiP       int
+	loIncl, hiIncl bool
+	used           []int
+}
+
+// rangeBounds collects comparison conjuncts against constants on one
+// ordered-indexed column and picks a single range. The column with the
+// most usable bounds wins; per direction, the bound tightest under the
+// compile-time values is consumed and any looser duplicates stay as
+// filter conjuncts — so a template plan rebound with different values
+// never widens past a conjunct it dropped.
+func rangeBounds(tab *store.TableSnap, pushed []sql.Expr, params []store.Value) rangeChoice {
 	type bound struct {
-		v    store.Value
-		incl bool
-		low  bool
-		idx  int
+		v       store.Value
+		slot    int
+		incl    bool
+		low     bool
+		between bool // one side of a BETWEEN conjunct
+		idx     int
 	}
 	byCol := map[string][]bound{}
 	for i, c := range pushed {
 		switch e := c.(type) {
 		case *sql.BinaryExpr:
-			cr, lit, flipped, ok := cmpColLiteral(e)
+			cr, v, slot, flipped, ok := cmpColConst(e, params)
 			// A NULL bound makes the whole comparison NULL (reject
 			// every row); leave it to the filter, never to the index.
-			if !ok || lit.Val.IsNull() || !tab.HasOrderedIndex(cr.Column) {
+			if !ok || v.IsNull() || !tab.HasOrderedIndex(cr.Column) {
 				continue
 			}
 			op := e.Op
-			if flipped { // literal OP col  =>  col OP' literal
+			if flipped { // constant OP col  =>  col OP' constant
 				switch op {
 				case sql.OpLt:
 					op = sql.OpGt
@@ -351,26 +533,26 @@ func rangeBounds(tab *store.TableSnap, pushed []sql.Expr) (col string, lo, hi *s
 			}
 			switch op {
 			case sql.OpGt:
-				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, false, true, i})
+				byCol[cr.Column] = append(byCol[cr.Column], bound{v, slot, false, true, false, i})
 			case sql.OpGe:
-				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, true, true, i})
+				byCol[cr.Column] = append(byCol[cr.Column], bound{v, slot, true, true, false, i})
 			case sql.OpLt:
-				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, false, false, i})
+				byCol[cr.Column] = append(byCol[cr.Column], bound{v, slot, false, false, false, i})
 			case sql.OpLe:
-				byCol[cr.Column] = append(byCol[cr.Column], bound{lit.Val, true, false, i})
+				byCol[cr.Column] = append(byCol[cr.Column], bound{v, slot, true, false, false, i})
 			}
 		case *sql.BetweenExpr:
 			cr, ok := e.X.(sql.ColumnRef)
 			if !ok || e.Negated || !tab.HasOrderedIndex(cr.Column) {
 				continue
 			}
-			loLit, lok := e.Lo.(sql.Literal)
-			hiLit, hok := e.Hi.(sql.Literal)
-			if !lok || !hok || loLit.Val.IsNull() || hiLit.Val.IsNull() {
+			loV, loSlot, lok := constVal(e.Lo, params)
+			hiV, hiSlot, hok := constVal(e.Hi, params)
+			if !lok || !hok || loV.IsNull() || hiV.IsNull() {
 				continue
 			}
 			byCol[cr.Column] = append(byCol[cr.Column],
-				bound{loLit.Val, true, true, i}, bound{hiLit.Val, true, false, i})
+				bound{loV, loSlot, true, true, true, i}, bound{hiV, hiSlot, true, false, true, i})
 		}
 	}
 	var bestCol string
@@ -380,27 +562,50 @@ func rangeBounds(tab *store.TableSnap, pushed []sql.Expr) (col string, lo, hi *s
 			bestCol = c
 		}
 	}
+	rc := rangeChoice{loP: -1, hiP: -1}
 	if bestCol == "" {
-		return "", nil, nil, false, false, nil
+		return rc
 	}
-	seen := map[int]bool{}
-	for _, b := range byCol[bestCol] {
-		v := b.v
+	rc.col = bestCol
+	var loB, hiB *bound
+	for i := range byCol[bestCol] {
+		b := &byCol[bestCol][i]
 		if b.low {
-			if lo == nil || store.Compare(v, *lo) > 0 || (store.Compare(v, *lo) == 0 && !b.incl) {
-				lo, loIncl = &v, b.incl
+			if loB == nil || store.Compare(b.v, loB.v) > 0 ||
+				(store.Compare(b.v, loB.v) == 0 && !b.incl && loB.incl) {
+				loB = b
 			}
 		} else {
-			if hi == nil || store.Compare(v, *hi) < 0 || (store.Compare(v, *hi) == 0 && !b.incl) {
-				hi, hiIncl = &v, b.incl
+			if hiB == nil || store.Compare(b.v, hiB.v) < 0 ||
+				(store.Compare(b.v, hiB.v) == 0 && !b.incl && hiB.incl) {
+				hiB = b
 			}
 		}
-		if !seen[b.idx] {
-			seen[b.idx] = true
-			used = append(used, b.idx)
-		}
 	}
-	return bestCol, lo, hi, loIncl, hiIncl, used
+	if loB != nil {
+		v := loB.v
+		rc.lo, rc.loIncl, rc.loP = &v, loB.incl, loB.slot
+	}
+	if hiB != nil {
+		v := hiB.v
+		rc.hi, rc.hiIncl, rc.hiP = &v, hiB.incl, hiB.slot
+	}
+	// Consumption: a conjunct leaves the filter set only when the scan
+	// enforces ALL of it. A single-direction comparison is its chosen
+	// bound, so being chosen consumes it. A BETWEEN is two bounds: it
+	// is consumed only when the scan took both sides from it — if one
+	// side lost the merge to a tighter conjunct, the BETWEEN stays a
+	// filter (its chosen side is then enforced twice, which is merely
+	// redundant), because a rebind with different constants could make
+	// the superseded side the binding one.
+	bothFrom := loB != nil && hiB != nil && loB.idx == hiB.idx
+	if loB != nil && (!loB.between || bothFrom) {
+		rc.used = append(rc.used, loB.idx)
+	}
+	if hiB != nil && (!hiB.between || bothFrom) && !(bothFrom && loB != nil) {
+		rc.used = append(rc.used, hiB.idx)
+	}
+	return rc
 }
 
 // rangeSelectivity interpolates numeric ranges against column min/max
@@ -544,23 +749,61 @@ func EqColLiteral(e sql.Expr) (sql.ColumnRef, sql.Literal, bool) {
 	return sql.ColumnRef{}, sql.Literal{}, false
 }
 
-// cmpColLiteral matches a comparison between a column and a literal;
-// flipped reports the literal being on the left.
-func cmpColLiteral(be *sql.BinaryExpr) (sql.ColumnRef, sql.Literal, bool, bool) {
-	if !be.Op.IsComparison() {
-		return sql.ColumnRef{}, sql.Literal{}, false, false
+// constVal resolves e as a plannable constant: a literal's value, or a
+// parameter's compile-time value from params (the binding a template
+// is compiled or re-bound with). slot is the parameter index, -1 for
+// literals; ok is false for any other expression, and for a parameter
+// when no compile-time vector is available — such conjuncts simply
+// stay in filters.
+func constVal(e sql.Expr, params []store.Value) (v store.Value, slot int, ok bool) {
+	switch n := e.(type) {
+	case sql.Literal:
+		return n.Val, -1, true
+	case sql.Param:
+		if n.Idx >= 0 && n.Idx < len(params) {
+			return params[n.Idx], n.Idx, true
+		}
+	}
+	return store.Value{}, -1, false
+}
+
+// eqColConst matches "col = constant" in either orientation, where the
+// constant is a literal or a resolvable parameter.
+func eqColConst(e sql.Expr, params []store.Value) (sql.ColumnRef, store.Value, int, bool) {
+	be, ok := e.(*sql.BinaryExpr)
+	if !ok || be.Op != sql.OpEq {
+		return sql.ColumnRef{}, store.Value{}, -1, false
 	}
 	if c, ok := be.L.(sql.ColumnRef); ok {
-		if l, ok := be.R.(sql.Literal); ok {
-			return c, l, false, true
+		if v, slot, ok := constVal(be.R, params); ok {
+			return c, v, slot, true
 		}
 	}
 	if c, ok := be.R.(sql.ColumnRef); ok {
-		if l, ok := be.L.(sql.Literal); ok {
-			return c, l, true, true
+		if v, slot, ok := constVal(be.L, params); ok {
+			return c, v, slot, true
 		}
 	}
-	return sql.ColumnRef{}, sql.Literal{}, false, false
+	return sql.ColumnRef{}, store.Value{}, -1, false
+}
+
+// cmpColConst matches a comparison between a column and a constant;
+// flipped reports the constant being on the left.
+func cmpColConst(be *sql.BinaryExpr, params []store.Value) (sql.ColumnRef, store.Value, int, bool, bool) {
+	if !be.Op.IsComparison() {
+		return sql.ColumnRef{}, store.Value{}, -1, false, false
+	}
+	if c, ok := be.L.(sql.ColumnRef); ok {
+		if v, slot, ok := constVal(be.R, params); ok {
+			return c, v, slot, false, true
+		}
+	}
+	if c, ok := be.R.(sql.ColumnRef); ok {
+		if v, slot, ok := constVal(be.L, params); ok {
+			return c, v, slot, true, true
+		}
+	}
+	return sql.ColumnRef{}, store.Value{}, -1, false, false
 }
 
 func ceilEst(f float64) int {

@@ -145,12 +145,18 @@ type Scan struct {
 }
 
 // IndexScan reads rows matching an indexed predicate: Eq via the hash
-// index, or a Lo/Hi range via the ordered index.
+// index, or a Lo/Hi range via the ordered index. A probe or bound that
+// came from a parameterized conjunct carries a parameter slot (EqP /
+// LoP / HiP, -1 when unused) instead of a baked value: it is resolved
+// from Ctx.Params when the scan opens, which is what lets one compiled
+// template plan serve every binding of its shape.
 type IndexScan struct {
 	B              Binding
 	Col            string       // indexed column name
 	Eq             *store.Value // equality probe; nil for a range scan
 	Lo, Hi         *store.Value // range bounds; nil = unbounded
+	EqP            int          // parameter slot of the probe; -1 = none
+	LoP, HiP       int          // parameter slots of the bounds; -1 = none
 	LoIncl, HiIncl bool
 	Est            int
 	rel            *Rel

@@ -1,0 +1,119 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+// TestTemplateBindFastPath: constants of the same shape rebind onto
+// the shared compiled tree — the plan pointer itself — with the index
+// probe left as a parameter slot.
+func TestTemplateBindFastPath(t *testing.T) {
+	db := dataset.University(1)
+	tmplStmt, params := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE id = 7"))
+	sn := db.Snapshot()
+	tmpl, err := plan.CompileTemplate(sn, tmplStmt, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := tmpl.Plan().Explain(); !strings.Contains(ex, "id = $1") {
+		t.Errorf("template plan should probe through a parameter slot:\n%s", ex)
+	}
+
+	_, params2 := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE id = 23"))
+	p, reused, err := tmpl.Bind(sn, params2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Error("same-shape rebind should take the fast path")
+	}
+	if p != tmpl.Plan() {
+		t.Error("fast path should return the shared compiled tree")
+	}
+}
+
+// TestTemplateBindValidates: binding the wrong arity or kind is
+// rejected — the shape contract that keeps kind-dependent compile
+// decisions in the cached plan valid.
+func TestTemplateBindValidates(t *testing.T) {
+	db := dataset.University(1)
+	tmplStmt, params := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE id = 7"))
+	sn := db.Snapshot()
+	tmpl, err := plan.CompileTemplate(sn, tmplStmt, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tmpl.Bind(sn, []store.Value{store.Text("seven")}, 1); err == nil {
+		t.Error("kind-mismatched binding must be rejected")
+	}
+	if _, _, err := tmpl.Bind(sn, nil, 1); err == nil {
+		t.Error("arity-mismatched binding must be rejected")
+	}
+}
+
+// TestTemplateRebindAfterDrift: a bulk load that inverts two tables'
+// relative sizes flips the greedy join order; Bind detects the stale
+// decision from the fresh statistics and recompiles instead of reusing
+// the cached tree.
+func TestTemplateRebindAfterDrift(t *testing.T) {
+	s := schema.MustNew("drift", []*schema.Table{
+		{Name: "small", Columns: []schema.Column{
+			{Name: "id", Type: schema.Int}, {Name: "v", Type: schema.Int}}},
+		{Name: "big", Columns: []schema.Column{
+			{Name: "id", Type: schema.Int}, {Name: "w", Type: schema.Int}}},
+	}, nil)
+	db := store.NewDB(s)
+	for i := 0; i < 10; i++ {
+		db.MustInsert("small", store.Int(int64(i)), store.Int(int64(i)))
+	}
+	for i := 0; i < 500; i++ {
+		db.MustInsert("big", store.Int(int64(i)), store.Int(int64(i)))
+	}
+
+	stmt := sql.MustParse("SELECT v, w FROM small, big WHERE small.id = big.id")
+	tmplStmt, params := sql.Parameterize(stmt)
+	tmpl, err := plan.CompileTemplate(db.Snapshot(), tmplStmt, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe (left) side of the hash join is the third explain line.
+	probeLine := func(explain string) string { return strings.Split(explain, "\n")[2] }
+	before := tmpl.Plan().Explain()
+	if !strings.Contains(probeLine(before), "scan small") {
+		t.Fatalf("premise: the greedy order should probe from the smaller small:\n%s", before)
+	}
+
+	// Rebinding on an unchanged store stays on the fast path.
+	if _, reused, err := tmpl.Bind(db.Snapshot(), params, 1); err != nil || !reused {
+		t.Fatalf("quiescent rebind: reused=%v err=%v", reused, err)
+	}
+
+	// Grow small past big: the cheapest-first join order inverts.
+	rows := make([]store.Row, 5000)
+	for i := range rows {
+		rows[i] = store.Row{store.Int(int64(1000 + i)), store.Int(int64(i))}
+	}
+	db.MustBulkInsert("small", rows)
+
+	p, reused, err := tmpl.Bind(db.Snapshot(), params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("rebind after stats drift must not reuse the cached tree")
+	}
+	after := p.Explain()
+	if after == before {
+		t.Errorf("drifted rebind should produce a different plan:\n%s", after)
+	}
+	if !strings.Contains(probeLine(after), "scan big") {
+		t.Errorf("fresh plan should probe from big, now the smaller input:\n%s", after)
+	}
+}

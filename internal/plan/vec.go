@@ -656,14 +656,36 @@ func (v *vlike) eval(b *vbatch) vcol {
 // whole grouped/aggregate subexpressions) to columns. It returns
 // handled=false to let structural compilation proceed, or handled=true
 // with a nil vexpr to decline.
+//
+// Parameter slots resolve in one of two modes. The structural mode
+// (compileRel — the staticVec/fullyVec vectorizability checks)
+// substitutes a kind-representative surrogate that is never evaluated:
+// every structural decision depends only on the parameter's declared
+// kind, so the check agrees with any later bound compile of the same
+// shape. The runtime mode (compileRelWith — operator vopens) resolves
+// through the run's actual vector and *declines* on a missing slot,
+// sending the expression to the row path, which raises the unbound-
+// parameter error — a plan executed without its vector must fail
+// loudly, never silently filter on a surrogate.
 type vcompiler struct {
-	resolve func(e sql.Expr) (vexpr, bool)
+	resolve    func(e sql.Expr) (vexpr, bool)
+	params     []store.Value
+	structural bool
 }
 
-// compileRel builds a compiler over a relational row shape.
+// compileRel builds a structural-mode compiler over a relational row
+// shape.
 func compileRel(rel *Rel) *vcompiler {
+	c := compileRelWith(rel, nil)
+	c.structural = true
+	return c
+}
+
+// compileRelWith builds a runtime-mode compiler with the run's
+// parameter vector bound.
+func compileRelWith(rel *Rel, params []store.Value) *vcompiler {
 	kinds := relKinds(rel)
-	return &vcompiler{resolve: func(e sql.Expr) (vexpr, bool) {
+	return &vcompiler{params: params, resolve: func(e sql.Expr) (vexpr, bool) {
 		ref, ok := e.(sql.ColumnRef)
 		if !ok {
 			return nil, false
@@ -676,6 +698,34 @@ func compileRel(rel *Rel) *vcompiler {
 		}
 		return &vcolRef{off: off, k: kinds[off]}, true
 	}}
+}
+
+// paramVal resolves a parameter slot per the compiler's mode; ok is
+// false when a runtime compile finds no bound value.
+func (c *vcompiler) paramVal(p sql.Param) (store.Value, bool) {
+	if p.Idx >= 0 && p.Idx < len(c.params) {
+		return c.params[p.Idx], true
+	}
+	if c.structural {
+		return surrogateVal(p.Kind), true
+	}
+	return store.Value{}, false
+}
+
+// surrogateVal is a kind-representative stand-in value used only to
+// answer "would this expression vectorize" — never evaluated.
+func surrogateVal(k store.Kind) store.Value {
+	switch k {
+	case store.KindInt:
+		return store.Int(0)
+	case store.KindFloat:
+		return store.Float(0)
+	case store.KindText:
+		return store.Text("")
+	case store.KindBool:
+		return store.Bool(false)
+	}
+	return store.Null()
 }
 
 func numericOrNull(k store.Kind) bool {
@@ -691,6 +741,12 @@ func (c *vcompiler) compile(e sql.Expr) (vexpr, bool) {
 	switch n := e.(type) {
 	case sql.Literal:
 		return &vconst{val: n.Val}, true
+	case sql.Param:
+		v, ok := c.paramVal(n)
+		if !ok {
+			return nil, false
+		}
+		return &vconst{val: v}, true
 	case *sql.BinaryExpr:
 		l, ok := c.compile(n.L)
 		if !ok {
@@ -800,22 +856,30 @@ func (c *vcompiler) compile(e sql.Expr) (vexpr, bool) {
 		}
 		in := &vin{x: x, negated: n.Negated}
 		for _, le := range n.List {
-			lit, ok := le.(sql.Literal)
-			if !ok {
+			var val store.Value
+			switch l := le.(type) {
+			case sql.Literal:
+				val = l.Val
+			case sql.Param:
+				var ok bool
+				if val, ok = c.paramVal(l); !ok {
+					return nil, false
+				}
+			default:
 				return nil, false
 			}
-			switch lit.Val.Kind() {
+			switch val.Kind() {
 			case store.KindNull:
 				in.sawNull = true
 			case store.KindInt:
-				in.intElems = append(in.intElems, lit.Val.Int64())
+				in.intElems = append(in.intElems, val.Int64())
 			case store.KindFloat:
-				f, _ := lit.Val.AsFloat()
+				f, _ := val.AsFloat()
 				in.fltElems = append(in.fltElems, f)
 			case store.KindText:
-				in.strElems = append(in.strElems, lit.Val.Str())
+				in.strElems = append(in.strElems, val.Str())
 			case store.KindBool:
-				if lit.Val.BoolVal() {
+				if val.BoolVal() {
 					in.hasTrue = true
 				} else {
 					in.hasFalse = true
@@ -828,17 +892,25 @@ func (c *vcompiler) compile(e sql.Expr) (vexpr, bool) {
 		if !ok {
 			return nil, false
 		}
-		pat, ok := n.Pattern.(sql.Literal)
-		if !ok {
+		var pat store.Value
+		switch p := n.Pattern.(type) {
+		case sql.Literal:
+			pat = p.Val
+		case sql.Param:
+			var ok bool
+			if pat, ok = c.paramVal(p); !ok {
+				return nil, false
+			}
+		default:
 			return nil, false
 		}
-		if x.kind() == store.KindNull || pat.Val.IsNull() {
+		if x.kind() == store.KindNull || pat.IsNull() {
 			return allNull(), true
 		}
-		if x.kind() != store.KindText || pat.Val.Kind() != store.KindText {
+		if x.kind() != store.KindText || pat.Kind() != store.KindText {
 			return nil, false
 		}
-		return &vlike{x: x, pattern: pat.Val.Str(), negated: n.Negated}, true
+		return &vlike{x: x, pattern: pat.Str(), negated: n.Negated}, true
 	}
 	// FuncCall (aggregates), subqueries, EXISTS: row path.
 	return nil, false

@@ -63,7 +63,7 @@ func staticVec(n Node) bool {
 		exprs := append(append([]sql.Expr{}, t.Items...), t.SortKeys...)
 		return compilesOver(t.In.Rel(), exprs...)
 	case *Aggregate:
-		_, ok := planVecAgg(t)
+		_, ok := planVecAgg(t, nil, true)
 		return ok
 	case *Distinct:
 		return staticVec(t.In)
@@ -303,7 +303,7 @@ func (f *Filter) vopen(ctx *Ctx) (viter, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred, ok := compileRel(f.In.Rel()).compile(f.Pred)
+	pred, ok := compileRelWith(f.In.Rel(), ctx.Params).compile(f.Pred)
 	if !ok {
 		return nil, errUnknownTable("<filter predicate not vectorizable>")
 	}
@@ -464,7 +464,7 @@ func (p *Project) vopen(ctx *Ctx) (viter, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := compileRel(p.In.Rel())
+	c := compileRelWith(p.In.Rel(), ctx.Params)
 	exprs := make([]vexpr, 0, len(p.Items)+len(p.SortKeys))
 	for _, e := range append(append([]sql.Expr{}, p.Items...), p.SortKeys...) {
 		ve, ok := c.compile(e)
@@ -517,10 +517,13 @@ type vecAggPlan struct {
 // planVecAgg decomposes a into a vectorized aggregation plan, or
 // reports it non-vectorizable: every output item must reduce to GROUP
 // BY expressions, standard non-DISTINCT aggregates over vectorizable
-// arguments, and vectorizable combinations thereof.
-func planVecAgg(a *Aggregate) (*vecAggPlan, bool) {
+// arguments, and vectorizable combinations thereof. params is the
+// run's parameter vector; structural marks the vectorizability check
+// (parameters then compile against kind surrogates, see vcompiler).
+func planVecAgg(a *Aggregate, params []store.Value, structural bool) (*vecAggPlan, bool) {
 	rel := a.In.Rel()
-	in := compileRel(rel)
+	in := compileRelWith(rel, params)
+	in.structural = structural
 	ap := &vecAggPlan{}
 	pseudoIdx := map[string]int{}
 	var pseudoKinds []store.Kind
@@ -573,7 +576,7 @@ func planVecAgg(a *Aggregate) (*vecAggPlan, bool) {
 		}
 		return slot, true
 	}
-	outer := &vcompiler{}
+	outer := &vcompiler{params: params, structural: structural}
 	outer.resolve = func(e sql.Expr) (vexpr, bool) {
 		if idx, ok := pseudoIdx[e.String()]; ok {
 			return &vcolRef{off: idx, k: pseudoKinds[idx]}, true
@@ -772,7 +775,7 @@ func allNullCol(n int) vcol {
 }
 
 func (a *Aggregate) vopen(ctx *Ctx) (viter, error) {
-	ap, ok := planVecAgg(a)
+	ap, ok := planVecAgg(a, ctx.Params, false)
 	if !ok {
 		return nil, errUnknownTable("<aggregate not vectorizable>")
 	}

@@ -22,6 +22,7 @@
 package sql
 
 import (
+	"strconv"
 	"strings"
 
 	"repro/internal/store"
@@ -81,6 +82,19 @@ type ColumnRef struct {
 // Literal is a constant value.
 type Literal struct {
 	Val store.Value
+}
+
+// Param is a bound-parameter slot: a constant lifted out of the
+// statement by Parameterize, to be supplied through a parameter vector
+// when the statement is bound for execution. Idx indexes that vector.
+// Kind is the lifted constant's value kind and is part of the query's
+// *shape* (see ShapeKey): compiled plans are reused only across
+// bindings with identical kinds, which keeps every kind-dependent
+// compilation decision — comparability, arithmetic result widths,
+// vectorizability — stable no matter which values are later bound.
+type Param struct {
+	Idx  int
+	Kind store.Kind
 }
 
 // BinOp is a binary operator.
@@ -198,6 +212,7 @@ type IsNullExpr struct {
 
 func (ColumnRef) isExpr()     {}
 func (Literal) isExpr()       {}
+func (Param) isExpr()         {}
 func (*BinaryExpr) isExpr()   {}
 func (*NotExpr) isExpr()      {}
 func (*NegExpr) isExpr()      {}
@@ -261,6 +276,8 @@ func (l Literal) String() string {
 	}
 	return v.String()
 }
+
+func (p Param) String() string { return "$" + strconv.Itoa(p.Idx+1) }
 
 func (b *BinaryExpr) String() string {
 	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"

@@ -1,0 +1,118 @@
+package sql_test
+
+import (
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/store"
+)
+
+func TestParameterizeLiftsConstants(t *testing.T) {
+	stmt := sql.MustParse("SELECT name FROM students WHERE gpa > 3.5 AND year = 2 AND name LIKE 'A%'")
+	orig := stmt.String()
+	tmpl, params := sql.Parameterize(stmt)
+
+	if got := stmt.String(); got != orig {
+		t.Fatalf("Parameterize mutated the input: %s", got)
+	}
+	if len(params) != 3 {
+		t.Fatalf("lifted %d params, want 3: %v", len(params), params)
+	}
+	wantKinds := []store.Kind{store.KindFloat, store.KindInt, store.KindText}
+	for i, k := range wantKinds {
+		if params[i].Kind() != k {
+			t.Errorf("param %d kind = %v, want %v", i, params[i].Kind(), k)
+		}
+	}
+	want := "SELECT name FROM students WHERE (((gpa > $1) AND (year = $2)) AND name LIKE $3)"
+	if tmpl.String() != want {
+		t.Errorf("template = %s\nwant %s", tmpl.String(), want)
+	}
+	if n := sql.NumParams(tmpl); n != 3 {
+		t.Errorf("NumParams = %d, want 3", n)
+	}
+}
+
+func TestParameterizeSharedAcrossConstants(t *testing.T) {
+	a, pa := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE gpa > 3.5"))
+	b, pb := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE gpa > 2.0"))
+	if a.String() != b.String() {
+		t.Fatalf("templates differ: %s vs %s", a, b)
+	}
+	if sql.ShapeKey(a, pa) != sql.ShapeKey(b, pb) {
+		t.Error("constant-differing questions should share a shape key")
+	}
+	// Same template text, different constant kind: distinct shapes.
+	c, pc := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE gpa > 3"))
+	if sql.ShapeKey(a, pa) == sql.ShapeKey(c, pc) {
+		t.Error("int- and float-constant questions must not share a shape key")
+	}
+}
+
+func TestParameterizeKeepsNullInline(t *testing.T) {
+	tmpl, params := sql.Parameterize(sql.MustParse("SELECT name FROM students WHERE id = NULL AND gpa > 3.0"))
+	if len(params) != 1 {
+		t.Fatalf("params = %v, want only the gpa bound", params)
+	}
+	if got := tmpl.String(); got != "SELECT name FROM students WHERE ((id = NULL) AND (gpa > $1))" {
+		t.Errorf("template = %s", got)
+	}
+}
+
+// TestShapeAgreesWithParameterize pins the contract between the
+// one-pass Shape (the plan-cache hit path) and the tree-building
+// Parameterize + ShapeKey (the miss path): identical keys, identical
+// constant vectors, across every SQL construct the subset supports.
+func TestShapeAgreesWithParameterize(t *testing.T) {
+	queries := []string{
+		"SELECT name FROM students WHERE gpa > 3.5 AND year = 2",
+		"SELECT DISTINCT s.name AS who FROM students s, departments d " +
+			"WHERE s.dept_id = d.dept_id AND d.name = 'CS' ORDER BY who DESC LIMIT 5",
+		"SELECT name FROM students WHERE id BETWEEN 5 AND 40 AND name LIKE 'A%'",
+		"SELECT name FROM students WHERE year IN (1, 2, 3) AND gpa IS NOT NULL",
+		"SELECT name FROM students WHERE NOT (gpa < 2.0) AND id = NULL",
+		"SELECT COUNT(DISTINCT dept_id), AVG(gpa), -(gpa) FROM students WHERE gpa > 1.5 GROUP BY year HAVING COUNT(*) > 3",
+		"SELECT name FROM students WHERE dept_id IN (SELECT dept_id FROM departments WHERE budget > 1000000)",
+		"SELECT name FROM students WHERE EXISTS " +
+			"(SELECT * FROM enrollments WHERE enrollments.student_id = students.id AND grade = 'A')",
+		"SELECT name FROM students WHERE gpa > " +
+			"(SELECT AVG(gpa) FROM students WHERE year = 1)",
+	}
+	for _, q := range queries {
+		stmt := sql.MustParse(q)
+		key, params := sql.Shape(stmt)
+		tmpl, wantParams := sql.Parameterize(stmt)
+		wantKey := sql.ShapeKey(tmpl, wantParams)
+		if key != wantKey {
+			t.Errorf("Shape key mismatch for %s:\n one-pass %s\n two-pass %s", q, key, wantKey)
+		}
+		if len(params) != len(wantParams) {
+			t.Fatalf("param count mismatch for %s: %d vs %d", q, len(params), len(wantParams))
+		}
+		for i := range params {
+			if params[i].Key() != wantParams[i].Key() {
+				t.Errorf("param %d mismatch for %s: %v vs %v", i, q, params[i], wantParams[i])
+			}
+		}
+	}
+}
+
+func TestParameterizeNumbersSubqueriesGlobally(t *testing.T) {
+	tmpl, params := sql.Parameterize(sql.MustParse(
+		"SELECT name FROM students WHERE gpa > 3.0 AND dept_id IN " +
+			"(SELECT dept_id FROM departments WHERE name = 'CS') AND year = 4"))
+	if len(params) != 3 {
+		t.Fatalf("lifted %d params, want 3: %v", len(params), params)
+	}
+	if params[1].Str() != "CS" {
+		t.Errorf("subquery literal lifted out of order: %v", params)
+	}
+	if n := sql.NumParams(tmpl); n != 3 {
+		t.Errorf("NumParams = %d, want 3", n)
+	}
+	// Tables must surface subquery reads for cache dependency sets.
+	tabs := sql.Tables(tmpl)
+	if len(tabs) != 2 || tabs[0] != "departments" || tabs[1] != "students" {
+		t.Errorf("Tables = %v", tabs)
+	}
+}

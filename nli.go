@@ -37,9 +37,12 @@
 // A built engine is safe for concurrent Ask calls and is designed to
 // be shared across request handlers: queries execute on a morsel-
 // driven parallel operator pipeline (Options.Parallelism; see
-// DESIGN.md § 2.2) and repeated hot questions are served from a
-// bounded answer cache invalidated on any data change
-// (Options.AnswerCacheSize).
+// DESIGN.md § 2.2), repeated hot questions are served from a bounded
+// answer cache with per-table invalidation (Options.AnswerCacheSize),
+// and questions repeating a *shape* with different constants ("sales
+// in march" / "sales in april") reuse one compiled plan through the
+// prepared-query template cache (Options.PlanCacheSize; DESIGN.md
+// § 2.6) — hot shapes bind instead of planning.
 package nli
 
 import (
