@@ -1,0 +1,155 @@
+// Command allocguard compares `go test -bench -benchmem` output against
+// recorded allocs/op baselines and fails when a benchmark regresses.
+//
+// Usage:
+//
+//	go test -run none -bench . -benchmem ./... | go run ./cmd/allocguard ci/alloc-baselines.txt
+//
+// The baselines file lists one benchmark per line as
+//
+//	BenchmarkName <max-allocs-per-op>
+//
+// with '#' comments and blank lines ignored. Benchmark names match with
+// the -N GOMAXPROCS suffix stripped, so baselines stay portable across
+// machines. Benchmarks present in the input but absent from the
+// baselines file are reported but do not fail the run; baselines with
+// no matching benchmark in the input DO fail (a renamed or deleted
+// benchmark silently loses its guard otherwise).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: allocguard <baselines-file> < bench-output")
+		os.Exit(2)
+	}
+	baselines, order, err := readBaselines(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocguard:", err)
+		os.Exit(2)
+	}
+
+	measured := map[string]int64{}
+	var extras []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, allocs, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		// Keep the worst observation if a benchmark appears twice
+		// (e.g. -count>1).
+		if prev, seen := measured[name]; !seen || allocs > prev {
+			measured[name] = allocs
+		}
+		if _, guarded := baselines[name]; !guarded && !seen(extras, name) {
+			extras = append(extras, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "allocguard: reading stdin:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-34s %12s %12s  %s\n", "benchmark", "allocs/op", "max", "status")
+	for _, name := range order {
+		max := baselines[name]
+		got, ok := measured[name]
+		switch {
+		case !ok:
+			fmt.Printf("%-34s %12s %12d  MISSING (not in bench output)\n", name, "-", max)
+			failed = true
+		case got > max:
+			fmt.Printf("%-34s %12d %12d  FAIL (+%d)\n", name, got, max, got-max)
+			failed = true
+		default:
+			fmt.Printf("%-34s %12d %12d  ok\n", name, got, max)
+		}
+	}
+	for _, name := range extras {
+		fmt.Printf("%-34s %12d %12s  unguarded\n", name, measured[name], "-")
+	}
+	if failed {
+		fmt.Println("allocguard: FAIL — allocation regression (or missing benchmark); " +
+			"if intentional, update ci/alloc-baselines.txt with rationale")
+		os.Exit(1)
+	}
+	fmt.Println("allocguard: ok")
+}
+
+func seen(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func readBaselines(path string) (map[string]int64, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]int64{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("%s:%d: want \"BenchmarkName max-allocs\", got %q", path, ln, line)
+		}
+		max, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || max < 0 {
+			return nil, nil, fmt.Errorf("%s:%d: bad allocation bound %q", path, ln, fields[1])
+		}
+		if _, dup := out[fields[0]]; dup {
+			return nil, nil, fmt.Errorf("%s:%d: duplicate baseline %s", path, ln, fields[0])
+		}
+		out[fields[0]] = max
+		order = append(order, fields[0])
+	}
+	return out, order, sc.Err()
+}
+
+// parseBenchLine extracts (name, allocs/op) from one line of
+// `go test -bench -benchmem` output, e.g.
+//
+//	BenchmarkLoadCSVHinted-8   	     226	   5203911 ns/op	 3049213 B/op	    5037 allocs/op
+func parseBenchLine(line string) (string, int64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[len(fields)-1] != "allocs/op" {
+		return "", 0, false
+	}
+	allocs, err := strconv.ParseInt(fields[len(fields)-2], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix when numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, allocs, true
+}

@@ -31,6 +31,11 @@ func ByName(name string, scale int) (*store.DB, error) {
 		return Geo(), nil
 	case "sales":
 		return Sales(scale), nil
+	case "events":
+		// The F11 telemetry log; scale is in units of 100K rows. Not in
+		// Names() because it has no NL benchmark corpus — it exists for
+		// the storage experiments.
+		return Events(mustPositive(scale) * 100_000), nil
 	}
 	return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, Names())
 }

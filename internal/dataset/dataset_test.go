@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/schema"
 	"repro/internal/sql"
+	"repro/internal/store"
 )
 
 func TestByName(t *testing.T) {
@@ -208,5 +209,45 @@ func TestScaledDatabasesStayConsistent(t *testing.T) {
 	}
 	if got := res.Rows[0][0].Int64(); got != int64(db.Table("orders").Len()) {
 		t.Errorf("join count %d != order count %d", got, db.Table("orders").Len())
+	}
+}
+
+// TestEventsDeterministic pins the F11 telemetry generator: exact row
+// count, byte-identical regeneration, monotonic clustered timestamps,
+// and the cardinalities its encodings rely on.
+func TestEventsDeterministic(t *testing.T) {
+	const n = 20_000
+	a, b := Events(n), Events(n)
+	ta, tb := a.Table("events"), b.Table("events")
+	if ta.Len() != n || tb.Len() != n {
+		t.Fatalf("rows = %d / %d, want %d", ta.Len(), tb.Len(), n)
+	}
+	ra, rb := ta.Rows(), tb.Rows()
+	services := map[string]bool{}
+	levels := map[string]bool{}
+	prevTS := int64(-1)
+	for i := range ra {
+		for c := range ra[i] {
+			if store.Compare(ra[i][c], rb[i][c]) != 0 {
+				t.Fatalf("row %d col %d differs across regenerations: %s vs %s",
+					i, c, ra[i][c], rb[i][c])
+			}
+		}
+		if ts := ra[i][1].Int64(); ts < prevTS {
+			t.Fatalf("ts not monotonic at row %d: %d < %d", i, ts, prevTS)
+		} else {
+			prevTS = ts
+		}
+		services[ra[i][3].Str()] = true
+		levels[ra[i][4].Str()] = true
+	}
+	if len(services) != 24 {
+		t.Errorf("service cardinality = %d, want 24", len(services))
+	}
+	if len(levels) != 4 {
+		t.Errorf("level cardinality = %d, want 4", len(levels))
+	}
+	if db, err := ByName("events", 1); err != nil || db.Table("events").Len() != 100_000 {
+		t.Errorf("ByName events: db=%v err=%v", db, err)
 	}
 }

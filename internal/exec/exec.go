@@ -144,6 +144,31 @@ func RunNoVecAt(sn *store.Snapshot, p *plan.Plan) (*Result, error) {
 	return ex.run(p, nil)
 }
 
+// RunNoSeg executes a compiled plan with vectorized scans reading the
+// uncompressed column vectors instead of the segment layout (zone-map
+// skipping disabled with them) — the ablation baseline of the
+// compressed-segment experiment (F11). Results are row-for-row
+// identical to Run.
+func RunNoSeg(db *store.DB, p *plan.Plan) (*Result, error) {
+	return RunNoSegAt(db.Snapshot(), p)
+}
+
+// RunNoSegAt is RunNoSeg against an already-pinned snapshot.
+func RunNoSegAt(sn *store.Snapshot, p *plan.Plan) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.noSeg = true
+	return ex.run(p, nil)
+}
+
+// RunCountedAt is RunAt with runtime segment counters: c accumulates
+// segments decoded vs segments skipped by zone maps across every scan
+// of the run, including subqueries and Exchange workers.
+func RunCountedAt(sn *store.Snapshot, p *plan.Plan, c *store.SegCounters) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.segC = c
+	return ex.run(p, nil)
+}
+
 // subKey keys the subquery result cache by statement and correlation
 // status. Today only uncorrelated results are ever inserted (correlated
 // subqueries return before the cache, their result depending on the
@@ -174,6 +199,8 @@ type executor struct {
 	corrCache map[*sql.SelectStmt]bool // memoized correlation verdicts
 	reference bool                     // route subqueries through the reference path too
 	noVec     bool                     // force row-at-a-time execution (ablation)
+	noSeg     bool                     // scan column vectors, not segments (ablation)
+	segC      *store.SegCounters       // optional segment scan/skip counters
 
 	// params is the parameter vector of a prepared execution: the
 	// values sql.Param slots evaluate to, shared by the outer plan and
@@ -193,7 +220,7 @@ func newExecutor(sn *store.Snapshot) *executor {
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
 	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent,
-		NoVec: ex.noVec, Params: ex.params})
+		NoVec: ex.noVec, NoSeg: ex.noSeg, SegC: ex.segC, Params: ex.params})
 	if err != nil {
 		return nil, err
 	}

@@ -105,3 +105,23 @@ func RunBoundAt(sn *store.Snapshot, p *plan.Plan, params []store.Value) (*Result
 	ex.params = params
 	return ex.run(p, nil)
 }
+
+// RunBoundCountedAt is RunBoundAt with runtime segment counters (see
+// RunCountedAt) — scans re-derive their zone-map skip sets from the
+// bound parameter vector, so the counters report the skipping this
+// particular binding earned.
+func RunBoundCountedAt(sn *store.Snapshot, p *plan.Plan, params []store.Value, c *store.SegCounters) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.params = params
+	ex.segC = c
+	return ex.run(p, nil)
+}
+
+// RunBoundNoSegAt is RunBoundAt over the uncompressed column vectors
+// (see RunNoSegAt).
+func RunBoundNoSegAt(sn *store.Snapshot, p *plan.Plan, params []store.Value) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.params = params
+	ex.noSeg = true
+	return ex.run(p, nil)
+}

@@ -1,0 +1,79 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/sql"
+)
+
+// segBenchPlan compiles one query over a 100K-row event log and hands
+// back the pinned snapshot and plan, with both columnar layouts built
+// outside the timed region.
+func segBenchPlan(b *testing.B, query string) (*exec.Result, func(noSeg bool) (*exec.Result, error)) {
+	b.Helper()
+	db := dataset.Events(100_000)
+	sn := db.Snapshot()
+	stmt := sql.MustParse(query)
+	p, err := exec.BuildPlanParallelAt(sn, stmt, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.Table("events").Segments() // build segment layout outside the loop
+	db.Table("events").ColVecs()  // and the uncompressed one
+	warm, err := exec.RunAt(sn, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return warm, func(noSeg bool) (*exec.Result, error) {
+		if noSeg {
+			return exec.RunNoSegAt(sn, p)
+		}
+		return exec.RunAt(sn, p)
+	}
+}
+
+// BenchmarkSegScanDictFilter pins the allocation budget of the
+// decode-free scan path: a dictionary-equality filter plus count over
+// every segment (no zone skipping), where text batches are views of
+// dictionary codes and int batches decode per batch. Guarded by
+// cmd/allocguard in CI.
+func BenchmarkSegScanDictFilter(b *testing.B) {
+	_, run := segBenchPlan(b, "SELECT COUNT(*) FROM events WHERE level = 'error'")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegScanZoneSkip measures the selective clustered-predicate
+// scan — most segments are skipped from zone maps alone, so allocs/op
+// must stay far below the full-scan budget.
+func BenchmarkSegScanZoneSkip(b *testing.B) {
+	_, run := segBenchPlan(b,
+		"SELECT COUNT(*) FROM events WHERE ts BETWEEN 1700006000 AND 1700006250")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegScanNoSeg is the uncompressed column-vector baseline of
+// BenchmarkSegScanDictFilter.
+func BenchmarkSegScanNoSeg(b *testing.B) {
+	_, run := segBenchPlan(b, "SELECT COUNT(*) FROM events WHERE level = 'error'")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -173,7 +173,7 @@ func TestVecExplainMarks(t *testing.T) {
 	if !strings.Contains(explain, "filter") || containsFilterVec(explain) {
 		t.Errorf("subquery filter should lose the [vec] mark:\n%s", explain)
 	}
-	if !strings.Contains(explain, "scan students cols=2/5 [est=120] [vec]") {
+	if !strings.Contains(explain, "scan students cols=2/5 [est=120 segments=1 skipped=0] [vec]") {
 		t.Errorf("scan below the fallback filter should keep [vec]:\n%s", explain)
 	}
 }

@@ -36,6 +36,17 @@ type Ctx struct {
 	// and differential-testing baseline for the vectorized engine.
 	NoVec bool
 
+	// NoSeg forces vectorized scans to read the uncompressed column
+	// vectors instead of the segment layout (and disables zone-map
+	// skipping with them) — the ablation baseline for the compressed
+	// segment experiment (F11).
+	NoSeg bool
+
+	// SegC, when set, accumulates runtime segment counters: segments
+	// decoded vs segments skipped by zone maps across all scans of the
+	// run (including Exchange workers — the fields are atomic).
+	SegC *store.SegCounters
+
 	part    *morselRun   // set inside an Exchange worker: the leaf's morsel
 	shared  *sharedState // per-run state shared across Exchange workers
 	scratch []byte       // reusable composite-key buffer; see keyScratch

@@ -59,7 +59,11 @@ func (e *Exchange) describe() string {
 }
 
 func (s *Scan) describe() string {
-	return fmt.Sprintf("scan %s%s [est=%d]", bindingName(s.B), prunedNote(s.B), s.Est)
+	seg := ""
+	if s.SegN > 0 {
+		seg = fmt.Sprintf(" segments=%d skipped=%d", s.SegN, s.SegSkip)
+	}
+	return fmt.Sprintf("scan %s%s [est=%d%s]", bindingName(s.B), prunedNote(s.B), s.Est, seg)
 }
 
 func (s *IndexScan) describe() string {

@@ -473,7 +473,14 @@ func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr, params []store
 			EqP: -1, LoP: pp.loP, HiP: pp.hiP,
 			LoIncl: pp.loIncl, HiIncl: pp.hiIncl, Est: ceilEst(pp.scanEst), rel: rel}
 	default:
-		node = &Scan{B: b, Est: ceilEst(pp.scanEst), rel: rel}
+		// Full scan: derive zone-map skip predicates from the leftover
+		// conjuncts (on this branch that is all of them, so the Filter
+		// below re-enforces every conjunct a skip derives from), and
+		// bake the compile-time skip statistics Explain reports.
+		sc := &Scan{B: b, Est: ceilEst(pp.scanEst), rel: rel}
+		sc.Skips = zonePreds(b, pp.leftover)
+		sc.SegN, sc.SegSkip = segScanStats(sn, b, sc.Skips, params)
+		node = sc
 	}
 
 	if pred := sql.And(pp.leftover...); pred != nil {

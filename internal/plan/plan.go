@@ -141,7 +141,16 @@ type Node interface {
 type Scan struct {
 	B   Binding
 	Est int // estimated output rows
-	rel *Rel
+	// Skips are zone-map predicates derived from the pushed conjuncts
+	// this scan's Filter re-enforces: segments whose zone maps prove a
+	// predicate non-TRUE on every row are skipped wholesale. Parameter
+	// slots inside them are re-resolved from Ctx.Params at every open,
+	// so a prepared template re-derives its skip set per binding.
+	Skips []ZonePred
+	// SegN/SegSkip are the segment count and skip count under the
+	// values the plan was compiled with, reported by Explain.
+	SegN, SegSkip int
+	rel           *Rel
 }
 
 // IndexScan reads rows matching an indexed predicate: Eq via the hash

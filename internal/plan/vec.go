@@ -29,16 +29,37 @@ const maxBatch = 1024
 // vcol is one column of a batch: a typed vector plus an optional null
 // mask. Exactly one data slice is populated according to kind; a
 // KindNull column is all-NULL and carries no data slice.
+//
+// A text column may instead travel in code space: dict non-nil and
+// codes holding per-row indexes into it (strs then nil) — the form
+// segment scans emit for dictionary-encoded columns. Kernels with a
+// per-distinct-value fast path (comparison against a constant, IN,
+// LIKE, hashing) compute one result per dictionary entry and gather it
+// through the codes; everything else materializes strings lazily via
+// str. Selection-preserving operators (gatherCol) keep codes intact,
+// so strings for filtered-out rows are never built at all.
 type vcol struct {
-	kind   store.Kind
-	ints   []int64
-	floats []float64
-	strs   []string
-	bools  []bool
-	nulls  []bool // nil when the column has no NULLs
+	kind    store.Kind
+	ints    []int64
+	floats  []float64
+	strs    []string
+	bools   []bool
+	nulls   []bool // nil when the column has no NULLs
+	codes   []int32
+	dict    []string
+	isConst bool // every row holds the same value (a broadcast constant)
 }
 
 func (c *vcol) null(i int) bool { return c.nulls != nil && c.nulls[i] }
+
+// str returns the string at row i, decoding through the dictionary in
+// code space.
+func (c *vcol) str(i int) string {
+	if c.dict != nil {
+		return c.dict[c.codes[i]]
+	}
+	return c.strs[i]
+}
 
 // value boxes row i back into a store.Value.
 func (c *vcol) value(i int) store.Value {
@@ -51,7 +72,7 @@ func (c *vcol) value(i int) store.Value {
 	case store.KindFloat:
 		return store.Float(c.floats[i])
 	case store.KindText:
-		return store.Text(c.strs[i])
+		return store.Text(c.str(i))
 	case store.KindBool:
 		return store.Bool(c.bools[i])
 	}
@@ -186,7 +207,7 @@ func (v *vconst) eval(b *vbatch) vcol {
 
 func (v *vconst) grow(n int) {
 	v.cap = n
-	v.cache = vcol{kind: v.val.Kind()}
+	v.cache = vcol{kind: v.val.Kind(), isConst: true}
 	switch v.val.Kind() {
 	case store.KindNull:
 		nulls := make([]bool, n)
@@ -248,9 +269,38 @@ func (v *vcmp) eval(b *vbatch) vcol {
 			out[i] = cmpOpInt(op, li[i], ri[i])
 		}
 	case lc.kind == store.KindText:
-		ls, rs := lc.strs[:n], rc.strs[:n]
-		for i := 0; i < n; i++ {
-			out[i] = cmpOpStr(op, ls[i], rs[i])
+		switch {
+		case lc.dict != nil && rc.isConst && n > 0:
+			// Code space vs constant: one comparison per dictionary
+			// entry, then a table gather over the codes.
+			rv := rc.str(0)
+			res := make([]bool, len(lc.dict))
+			for d, s := range lc.dict {
+				res[d] = cmpOpStr(op, s, rv)
+			}
+			codes := lc.codes[:n]
+			for i := 0; i < n; i++ {
+				out[i] = res[codes[i]]
+			}
+		case rc.dict != nil && lc.isConst && n > 0:
+			lv := lc.str(0)
+			res := make([]bool, len(rc.dict))
+			for d, s := range rc.dict {
+				res[d] = cmpOpStr(op, lv, s)
+			}
+			codes := rc.codes[:n]
+			for i := 0; i < n; i++ {
+				out[i] = res[codes[i]]
+			}
+		case lc.dict == nil && rc.dict == nil:
+			ls, rs := lc.strs[:n], rc.strs[:n]
+			for i := 0; i < n; i++ {
+				out[i] = cmpOpStr(op, ls[i], rs[i])
+			}
+		default:
+			for i := 0; i < n; i++ {
+				out[i] = cmpOpStr(op, lc.str(i), rc.str(i))
+			}
 		}
 	case lc.kind == store.KindBool:
 		lb, rb := lc.bools[:n], rc.bools[:n]
@@ -525,10 +575,43 @@ func (v *vbetween) eval(b *vbatch) vcol {
 	nulls := orNulls(orNulls(xc.nulls, loc.nulls, n), hic.nulls, n)
 	out := make([]bool, n)
 	if v.text {
-		xs, los, his := xc.strs[:n], loc.strs[:n], hic.strs[:n]
-		for i := 0; i < n; i++ {
-			in := xs[i] >= los[i] && xs[i] <= his[i]
-			out[i] = in != v.negated
+		if xc.dict != nil && loc.isConst && hic.isConst && n > 0 {
+			lo, hi := loc.str(0), hic.str(0)
+			res := make([]bool, len(xc.dict))
+			for d, s := range xc.dict {
+				res[d] = (s >= lo && s <= hi) != v.negated
+			}
+			codes := xc.codes[:n]
+			for i := 0; i < n; i++ {
+				out[i] = res[codes[i]]
+			}
+		} else if xc.dict == nil && loc.dict == nil && hic.dict == nil {
+			xs, los, his := xc.strs[:n], loc.strs[:n], hic.strs[:n]
+			for i := 0; i < n; i++ {
+				in := xs[i] >= los[i] && xs[i] <= his[i]
+				out[i] = in != v.negated
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				x := xc.str(i)
+				in := x >= loc.str(i) && x <= hic.str(i)
+				out[i] = in != v.negated
+			}
+		}
+	} else if xc.kind == store.KindInt && loc.kind == store.KindInt && hic.kind == store.KindInt {
+		xs := xc.ints[:n]
+		if loc.isConst && hic.isConst && n > 0 {
+			lo, hi := loc.ints[0], hic.ints[0]
+			for i := 0; i < n; i++ {
+				in := xs[i] >= lo && xs[i] <= hi
+				out[i] = in != v.negated
+			}
+		} else {
+			los, his := loc.ints[:n], hic.ints[:n]
+			for i := 0; i < n; i++ {
+				in := xs[i] >= los[i] && xs[i] <= his[i]
+				out[i] = in != v.negated
+			}
 		}
 	} else {
 		xf, lof, hif := asFloats(&xc, n), asFloats(&loc, n), asFloats(&hic, n)
@@ -566,6 +649,23 @@ func (v *vin) eval(b *vbatch) vcol {
 		nulls = make([]bool, n)
 		copy(nulls, xc.nulls[:n])
 	}
+	strIn := func(x string) bool {
+		for _, e := range v.strElems {
+			if x == e {
+				return true
+			}
+		}
+		return false
+	}
+	// Code space: membership computed once per dictionary entry, looked
+	// up through the codes.
+	var dictIn []bool
+	if xc.kind == store.KindText && xc.dict != nil {
+		dictIn = make([]bool, len(xc.dict))
+		for d, s := range xc.dict {
+			dictIn[d] = strIn(s)
+		}
+	}
 	found := func(i int) bool {
 		switch xc.kind {
 		case store.KindInt:
@@ -593,12 +693,10 @@ func (v *vin) eval(b *vbatch) vcol {
 				}
 			}
 		case store.KindText:
-			x := xc.strs[i]
-			for _, e := range v.strElems {
-				if x == e {
-					return true
-				}
+			if dictIn != nil {
+				return dictIn[xc.codes[i]]
 			}
+			return strIn(xc.strs[i])
 		case store.KindBool:
 			return (xc.bools[i] && v.hasTrue) || (!xc.bools[i] && v.hasFalse)
 		}
@@ -640,8 +738,20 @@ func (v *vlike) eval(b *vbatch) vcol {
 		nulls = make([]bool, n)
 		copy(nulls, xc.nulls[:n])
 	}
+	// Code space: LIKE is matched once per dictionary entry.
+	var dictRes []bool
+	if xc.dict != nil {
+		dictRes = make([]bool, len(xc.dict))
+		for d, s := range xc.dict {
+			dictRes[d] = strutil.MatchLike(s, v.pattern) != v.negated
+		}
+	}
 	for i := 0; i < n; i++ {
 		if nulls != nil && nulls[i] {
+			continue
+		}
+		if dictRes != nil {
+			out[i] = dictRes[xc.codes[i]]
 			continue
 		}
 		out[i] = strutil.MatchLike(xc.strs[i], v.pattern) != v.negated
@@ -975,6 +1085,16 @@ func hashString(s string) uint64 {
 // form, so an INT key column and a FLOAT key column hash equal values
 // identically (matching Value.Key equality for joins).
 func hashCol(c *vcol, n int, hs []uint64) {
+	// Code space: hash each dictionary entry once, gather through the
+	// codes — GROUP BY and join keys on dictionary columns never hash
+	// the same string twice per batch.
+	var dictH []uint64
+	if c.kind == store.KindText && c.dict != nil {
+		dictH = make([]uint64, len(c.dict))
+		for d, s := range c.dict {
+			dictH[d] = hashString(s)
+		}
+	}
 	for i := 0; i < n; i++ {
 		var h uint64
 		switch {
@@ -985,7 +1105,11 @@ func hashCol(c *vcol, n int, hs []uint64) {
 		case c.kind == store.KindFloat:
 			h = hashFloat(c.floats[i])
 		case c.kind == store.KindText:
-			h = hashString(c.strs[i])
+			if dictH != nil {
+				h = dictH[c.codes[i]]
+			} else {
+				h = hashString(c.strs[i])
+			}
 		default:
 			if c.bools[i] {
 				h = hashTrue
@@ -1026,7 +1150,12 @@ func eqVals(a *vcol, i int, b *vcol, j int) bool {
 		}
 	case store.KindText:
 		if b.kind == store.KindText {
-			return a.strs[i] == b.strs[j]
+			if len(a.dict) > 0 && len(b.dict) > 0 && &a.dict[0] == &b.dict[0] {
+				// Same dictionary (columns from one segment): codes
+				// decide equality without touching the strings.
+				return a.codes[i] == b.codes[j]
+			}
+			return a.str(i) == b.str(j)
 		}
 	case store.KindBool:
 		if b.kind == store.KindBool {
@@ -1084,7 +1213,7 @@ func (cb *colbuf) push(src *vcol, i int) {
 	case store.KindText:
 		var v string
 		if !isNull {
-			v = src.strs[i]
+			v = src.str(i)
 		}
 		cb.strs = append(cb.strs, v)
 	case store.KindBool:
@@ -1196,6 +1325,16 @@ func gatherCol(src *vcol, idxs []int32) vcol {
 		}
 		out.floats = arr
 	case store.KindText:
+		if src.dict != nil {
+			// Late materialization: gather codes, share the dictionary —
+			// strings are only built when a consumer finally asks.
+			arr := make([]int32, n)
+			for k, i := range idxs {
+				arr[k] = src.codes[i]
+			}
+			out.codes, out.dict = arr, src.dict
+			break
+		}
 		arr := make([]string, n)
 		for k, i := range idxs {
 			arr[k] = src.strs[i]

@@ -270,14 +270,27 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
-	cvs := retainedVecs(tab, s.B)
+	if ctx.NoSeg {
+		cvs := retainedVecs(tab, s.B)
+		if mr := ctx.part; mr != nil && mr.node == Node(s) {
+			if mr.ids != nil {
+				return gatherBatches(cvs, mr.ids), nil
+			}
+			return sliceBatches(cvs, mr.lo, mr.hi), nil
+		}
+		return sliceBatches(cvs, 0, tab.Len()), nil
+	}
+	// Segment path: skip predicates re-bind against this run's
+	// parameters, so a prepared template skips per its bound constants.
+	preds, skipAll := bindZonePreds(s.Skips, ctx.Params)
+	ss := tab.Segments()
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
 		if mr.ids != nil {
-			return gatherBatches(cvs, mr.ids), nil
+			return segGatherBatches(ss, s.B, mr.ids), nil
 		}
-		return sliceBatches(cvs, mr.lo, mr.hi), nil
+		return segScanBatches(ss, s.B, mr.lo, mr.hi, preds, skipAll, ctx.SegC), nil
 	}
-	return sliceBatches(cvs, 0, tab.Len()), nil
+	return segScanBatches(ss, s.B, 0, ss.N, preds, skipAll, ctx.SegC), nil
 }
 
 func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
@@ -285,15 +298,160 @@ func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
-	cvs := retainedVecs(tab, s.B)
+	if ctx.NoSeg {
+		cvs := retainedVecs(tab, s.B)
+		if mr := ctx.part; mr != nil && mr.node == Node(s) {
+			return gatherBatches(cvs, mr.ids), nil
+		}
+		ids, err := s.lookupIDs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return gatherBatches(cvs, ids), nil
+	}
+	ss := tab.Segments()
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
-		return gatherBatches(cvs, mr.ids), nil
+		return segGatherBatches(ss, s.B, mr.ids), nil
 	}
 	ids, err := s.lookupIDs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return gatherBatches(cvs, ids), nil
+	return segGatherBatches(ss, s.B, ids), nil
+}
+
+// segScanBatches iterates rows [lo, hi) of the segment layout as
+// batches. Whole segments whose zone maps refute a skip predicate are
+// dropped without touching their data (a segment-wide proof of
+// non-TRUE holds for any window of it, so partial morsel overlap skips
+// too). Plain/float/bool/string payloads and dictionary codes are
+// zero-copy views; RLE- and FOR-encoded ints decode into fresh slices
+// per batch, never a shared scratch — Exchange workers retain batches.
+func segScanBatches(ss *store.SegSet, b Binding, lo, hi int, preds []boundZone, skipAll bool, sc *store.SegCounters) viter {
+	pos := lo
+	si := -1
+	segEnd := 0
+	var seg *store.Segment
+	return func() (*vbatch, error) {
+		for pos < hi {
+			if si < 0 || pos >= segEnd {
+				nsi, _ := ss.Locate(pos)
+				si = nsi
+				seg = ss.Segs[si]
+				segEnd = ss.Start[si] + seg.N
+				if skipAll || skipSegment(seg, preds) {
+					if sc != nil {
+						sc.Skipped.Add(1)
+					}
+					pos = segEnd
+					si = -1
+					continue
+				}
+				if sc != nil {
+					sc.Scanned.Add(1)
+				}
+			}
+			segStart := segEnd - seg.N
+			wlo := pos - segStart
+			whi := min(segEnd, hi) - segStart
+			if whi-wlo > maxBatch {
+				whi = wlo + maxBatch
+			}
+			out := &vbatch{n: whi - wlo, cols: make([]vcol, len(b.Cols))}
+			for c, ci := range b.Cols {
+				out.cols[c] = segWindowCol(seg.Cols[ci], wlo, whi)
+			}
+			pos = segStart + whi
+			return out, nil
+		}
+		return nil, nil
+	}
+}
+
+// segWindowCol views rows [lo, hi) of one segment column as a kernel
+// column. Dictionary-encoded text surfaces codes+dict unmaterialized —
+// the kernels compare and hash codes directly.
+func segWindowCol(sc *store.SegCol, lo, hi int) vcol {
+	vc := vcol{kind: sc.Kind, nulls: sc.NullMask(lo, hi)}
+	switch sc.Kind {
+	case store.KindInt:
+		if sc.Enc == store.SegPlain {
+			vc.ints = sc.Ints[lo:hi]
+		} else {
+			vc.ints = sc.DecodeInts(lo, hi, nil)
+		}
+	case store.KindFloat:
+		vc.floats = sc.Floats[lo:hi]
+	case store.KindText:
+		if sc.Enc == store.SegDict {
+			vc.codes, vc.dict = sc.Codes[lo:hi], sc.Dict
+		} else {
+			vc.strs = sc.Strs[lo:hi]
+		}
+	case store.KindBool:
+		vc.bools = sc.Bools[lo:hi]
+	}
+	return vc
+}
+
+// segGatherBatches materializes the given row ids from the segment
+// layout into dense batches — the index-scan and morsel-over-ids form.
+func segGatherBatches(ss *store.SegSet, b Binding, ids []int) viter {
+	pos := 0
+	return func() (*vbatch, error) {
+		if pos >= len(ids) {
+			return nil, nil
+		}
+		end := min(pos+maxBatch, len(ids))
+		chunk := ids[pos:end]
+		out := &vbatch{n: len(chunk), cols: make([]vcol, len(b.Cols))}
+		for c, ci := range b.Cols {
+			cb := newColbuf(store.KindOfColType(b.Meta.Columns[ci].Type))
+			for _, id := range chunk {
+				si, off := ss.Locate(id)
+				cb.pushSegCol(ss.Segs[si].Cols[ci], off)
+			}
+			out.cols[c] = cb.col()
+		}
+		pos = end
+		return out, nil
+	}
+}
+
+// pushSegCol appends segment-local row i of a segment column, decoding
+// through its encoding.
+func (cb *colbuf) pushSegCol(sc *store.SegCol, i int) {
+	isNull := sc.IsNull(i)
+	cb.nulls = append(cb.nulls, isNull)
+	if isNull {
+		cb.anyNull = true
+	}
+	switch cb.kind {
+	case store.KindInt:
+		var v int64
+		if !isNull {
+			v = sc.IntAt(i)
+		}
+		cb.ints = append(cb.ints, v)
+	case store.KindFloat:
+		var v float64
+		if !isNull {
+			v = sc.Floats[i]
+		}
+		cb.floats = append(cb.floats, v)
+	case store.KindText:
+		var v string
+		if !isNull {
+			v = sc.StrAt(i)
+		}
+		cb.strs = append(cb.strs, v)
+	case store.KindBool:
+		var v bool
+		if !isNull {
+			v = sc.Bools[i]
+		}
+		cb.bools = append(cb.bools, v)
+	}
 }
 
 // ---- filter ----
@@ -681,7 +839,7 @@ func (slot *vecAggSlot) update(st *aggState, gid int, arg *vcol, i int) {
 				st.has[gid] = true
 			}
 		case store.KindText:
-			s := arg.strs[i]
+			s := arg.str(i)
 			if !st.has[gid] || (min && s < st.strs[gid]) || (!min && s > st.strs[gid]) {
 				st.strs[gid] = s
 				st.has[gid] = true
@@ -997,7 +1155,7 @@ func vcolCompare(a *vcol, i int, b *vcol, j int) int {
 			return 1
 		}
 	case store.KindText:
-		x, y := a.strs[i], b.strs[j]
+		x, y := a.str(i), b.str(j)
 		switch {
 		case x < y:
 			return -1

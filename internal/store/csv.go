@@ -16,13 +16,34 @@ import (
 // header naming the table's columns (any order; all columns required).
 // Cells parse according to the column type; empty cells become NULL.
 // Returns the number of rows inserted.
+//
+// When r is a regular file (anything with Stat, e.g. *os.File) the
+// loader derives a row-count hint from the file size and the measured
+// width of the first record, and preallocates its buffers to it —
+// callers with a better estimate can pass one via LoadCSVHint.
 func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
+	return db.LoadCSVHint(table, r, 0)
+}
+
+// loaderChunkRows sizes the cell arenas the loader carves rows from:
+// one allocation per chunk of rows instead of one per row.
+const loaderChunkRows = 8192
+
+// LoadCSVHint is LoadCSV with an explicit expected row count used to
+// preallocate the staging buffers (0 means derive one from the file
+// size when possible). The hint only affects allocation, never
+// correctness.
+func (db *DB) LoadCSVHint(table string, r io.Reader, rowHint int) (int, error) {
 	t := db.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("store: unknown table %q", table)
 	}
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	// The field strings are copied out by parseCell (or retained as
+	// immutable string values), so the record slice itself can be
+	// reused — one allocation per load instead of one per row.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return 0, fmt.Errorf("store: reading %s header: %w", table, err)
@@ -59,7 +80,26 @@ func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
 	// pre-existing indexes are rebuilt once after the load instead of
 	// being maintained per row (per-row ordered-index maintenance made
 	// large CSV loads O(n²)).
+	//
+	// Buffers are sized from the row hint — given by the caller, or
+	// estimated as remaining file bytes over the first record's width —
+	// and rows are carved from chunked arenas, so staging costs a
+	// handful of allocations instead of one per row plus slice-growth
+	// copies.
+	var size int64 = -1
+	if rowHint <= 0 {
+		if st, ok := r.(interface{ Stat() (os.FileInfo, error) }); ok {
+			if fi, err := st.Stat(); err == nil && fi.Mode().IsRegular() {
+				size = fi.Size()
+			}
+		}
+	}
+	headerEnd := cr.InputOffset()
 	var rows []Row
+	if rowHint > 0 {
+		rows = make([]Row, 0, rowHint)
+	}
+	var arena Row
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -68,7 +108,16 @@ func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("store: reading %s row %d: %w", table, len(rows)+2, err)
 		}
-		vals := make(Row, len(cols))
+		if rows == nil && size >= 0 {
+			if recBytes := cr.InputOffset() - headerEnd; recBytes > 0 {
+				rows = make([]Row, 0, int((size-headerEnd)/recBytes)+1)
+			}
+		}
+		if len(arena) < len(cols) {
+			arena = make(Row, loaderChunkRows*len(cols))
+		}
+		vals := arena[:len(cols):len(cols)]
+		arena = arena[len(cols):]
 		for hi, cell := range rec {
 			v, err := parseCell(cell, cols[perm[hi]].Type)
 			if err != nil {

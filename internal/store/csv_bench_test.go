@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func loaderBenchSchema() *schema.Schema {
+	return schema.MustNew("csvbench", []*schema.Table{{
+		Name: "events",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.Int},
+			{Name: "ts", Type: schema.Int},
+			{Name: "service", Type: schema.Text},
+			{Name: "latency", Type: schema.Float},
+		},
+	}}, nil)
+}
+
+func loaderBenchCSV(rows int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("id,ts,service,latency\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&buf, "%d,%d,svc-%02d,%d.5\n", i, 1700000000+i/8, i%24, 1+i%250)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkLoadCSVHinted measures the loader with a row-count hint:
+// the staging slice and the cell arenas are preallocated, so allocs/op
+// is a handful of arena chunks plus the csv reader's own records
+// rather than one Row per line and slice-growth copies. The companion
+// BenchmarkLoadCSVUnhinted is the before-shape (a reader with no Stat
+// and no hint); the gap between the two is what the preallocation
+// buys. Both feed the CI alloc-regression guard (cmd/allocguard).
+func BenchmarkLoadCSVHinted(b *testing.B) {
+	const rows = 5000
+	data := loaderBenchCSV(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := NewDB(loaderBenchSchema())
+		if _, err := db.LoadCSVHint("events", bytes.NewReader(data), rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadCSVUnhinted(b *testing.B) {
+	const rows = 5000
+	data := loaderBenchCSV(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := NewDB(loaderBenchSchema())
+		if _, err := db.LoadCSVHint("events", bytes.NewReader(data), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBulkInsert measures the arena-staged bulk path on prebuilt
+// rows — the loader's second half, isolated from CSV parsing.
+func BenchmarkBulkInsert(b *testing.B) {
+	const n = 5000
+	src := make([]Row, n)
+	for i := range src {
+		src[i] = Row{
+			Int(int64(i)), Int(int64(1700000000 + i/8)),
+			Text(fmt.Sprintf("svc-%02d", i%24)), Float(float64(i%250) + 0.5),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := NewDB(loaderBenchSchema())
+		if err := db.BulkInsert("events", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

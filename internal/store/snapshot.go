@@ -39,6 +39,7 @@ type tableData struct {
 	hash    map[string]map[string][]int // column -> value key -> row ids
 	ord     map[string][]int            // column -> row ids sorted by value
 	version uint64
+	segRows int // seal boundary for the segment layout (0 = default)
 	caches  *dataCaches
 }
 
@@ -53,6 +54,9 @@ type dataCaches struct {
 
 	colsMu sync.Mutex
 	cols   []*ColVec // nil until built
+
+	segsMu sync.Mutex
+	segs   *SegSet // nil until built
 }
 
 // TableSnap is a pinned, immutable view of one table version. All read
@@ -200,6 +204,30 @@ func (s *TableSnap) ColVecs() []*ColVec {
 	return c.cols
 }
 
+// Segments returns the snapshot's segment layout: sealed compressed
+// segments covering full chunks of the row set plus at most one plain
+// mutable tail, built lazily and cached on the pinned version. Writers
+// extend a built layout by sharing the sealed prefix by pointer and
+// re-encoding only the tail (see extendSegs).
+func (s *TableSnap) Segments() *SegSet {
+	c := s.d.caches
+	c.segsMu.Lock()
+	defer c.segsMu.Unlock()
+	if c.segs == nil {
+		c.segs = buildSegments(s.Meta, s.d.rows, s.d.segRows)
+	}
+	return c.segs
+}
+
+// SegmentRows returns the snapshot's seal boundary (rows per sealed
+// segment).
+func (s *TableSnap) SegmentRows() int {
+	if s.d.segRows > 0 {
+		return s.d.segRows
+	}
+	return DefaultSegmentRows
+}
+
 // Snapshot is a pinned, immutable view of the whole database: one
 // TableSnap per table, each at the version current when Snapshot() was
 // called. Queries (planning and execution) resolve tables through one
@@ -260,6 +288,7 @@ func (t *Table) publishRows(staged []Row) {
 		rows:    append(cur.rows, staged...),
 		version: cur.version + 1,
 		ord:     cur.ord,
+		segRows: cur.segRows,
 	}
 
 	// Hash indexes: shallow-clone the outer map, copy-and-extend only
@@ -308,8 +337,33 @@ func (t *Table) publishRows(staged []Row) {
 	next.caches = &dataCaches{
 		stats: t.extendStats(cur, next, staged),
 		cols:  extendCols(t.Meta, cur, staged),
+		segs:  extendSegs(t.Meta, cur, next),
 	}
 	t.data.Store(next)
+}
+
+// extendSegs extends the previous version's segment layout, when built:
+// sealed segments are immutable and rows only ever append, so the next
+// version shares them by pointer and re-encodes just the region past
+// the last seal — sealing any full chunks the append completed and
+// rebuilding the plain tail. Publish cost is O(tail + new), independent
+// of table size.
+func extendSegs(meta *schema.Table, cur, next *tableData) *SegSet {
+	cur.caches.segsMu.Lock()
+	prev := cur.caches.segs
+	cur.caches.segsMu.Unlock()
+	if prev == nil {
+		return nil
+	}
+	sealed := prev.Segs
+	if n := len(sealed); n > 0 && !sealed[n-1].Sealed {
+		sealed = sealed[:n-1]
+	}
+	sealedRows := 0
+	for _, seg := range sealed {
+		sealedRows += seg.N
+	}
+	return composeSegs(meta, next.rows, sealed, sealedRows, next.segRows)
 }
 
 // mergeOrdered merges two id runs already sorted by column value into
@@ -439,6 +493,7 @@ func (t *Table) publishIndex(mutate func(cur *tableData, next *tableData)) {
 		hash:    cur.hash,
 		ord:     cur.ord,
 		version: cur.version,
+		segRows: cur.segRows,
 		caches:  cur.caches,
 	}
 	mutate(cur, next)

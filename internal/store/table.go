@@ -97,14 +97,19 @@ func (t *Table) BulkInsert(rows []Row) error {
 	}
 	// Validate and coerce every row before publishing, so a mid-batch
 	// error leaves no partial mutation behind (Insert gives the same
-	// guarantee per row).
+	// guarantee per row). The staged rows carve slices out of one
+	// arena sized up front from the batch's row count — len(rows)
+	// small allocations collapse into one, which is most of the
+	// loader's alloc/op budget at bulk sizes.
+	nc := len(t.Meta.Columns)
 	staged := make([]Row, len(rows))
+	arena := make(Row, len(rows)*nc)
 	for ri, vals := range rows {
-		if len(vals) != len(t.Meta.Columns) {
+		if len(vals) != nc {
 			return fmt.Errorf("store: table %s expects %d values, got %d",
-				t.Meta.Name, len(t.Meta.Columns), len(vals))
+				t.Meta.Name, nc, len(vals))
 		}
-		row := make(Row, len(vals))
+		row := arena[ri*nc : (ri+1)*nc : (ri+1)*nc]
 		for i, v := range vals {
 			coerced, err := coerce(v, t.Meta.Columns[i].Type)
 			if err != nil {
@@ -217,6 +222,30 @@ func (t *Table) Stats(col string) (ColStats, bool) { return t.Snap().Stats(col) 
 // ColVecs returns the current version's columnar layout (see
 // TableSnap.ColVecs).
 func (t *Table) ColVecs() []*ColVec { return t.Snap().ColVecs() }
+
+// Segments returns the current version's segment layout (see
+// TableSnap.Segments).
+func (t *Table) Segments() *SegSet { return t.Snap().Segments() }
+
+// SetSegmentRows changes the table's seal boundary (rows per sealed
+// segment; 0 restores the default) and republishes the current data
+// under it with a fresh segment cache. Contents are unchanged so the
+// version does not move. Intended for tests and experiments that need
+// small segments or boundary-straddling row counts.
+func (t *Table) SetSegmentRows(n int) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	cur := t.data.Load()
+	next := &tableData{
+		rows:    cur.rows,
+		hash:    cur.hash,
+		ord:     cur.ord,
+		version: cur.version,
+		segRows: n,
+		caches:  &dataCaches{},
+	}
+	t.data.Store(next)
+}
 
 // DropIndex removes the hash and ordered indexes on the named column,
 // if any.
