@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces two memory-model contracts:
+//
+//  1. A struct field ever passed by address to a sync/atomic function
+//     must be accessed atomically everywhere — one plain load or store
+//     next to atomic ones is a data race the race detector only
+//     catches when the interleaving happens to bite. (Fields typed
+//     atomic.Int64 etc. are immune by construction; this guards the
+//     &x.n legacy form.)
+//  2. Values of struct types that contain a sync lock or a sync/atomic
+//     value (transitively, by value) must not be copied: not assigned,
+//     not passed or received by value, not dereferenced into a copy.
+//     Copying store.SegCounters or a mutex-guarded cache forks the
+//     lock/counter state silently.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "sync/atomic fields must be accessed atomically everywhere; lock-holding structs must not be copied",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	atomicFields := map[types.Object]bool{}    // fields passed as &x.f to sync/atomic
+	atomicUses := map[*ast.SelectorExpr]bool{} // selector nodes inside those calls
+
+	// Pass 1: find &x.f arguments of sync/atomic calls.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _, ok := funcPkgPath(p.Info, call)
+			if !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s := p.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					continue
+				}
+				atomicFields[s.Obj()] = true
+				atomicUses[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other access to those fields must also be atomic.
+	if len(atomicFields) > 0 {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicUses[sel] {
+					return true
+				}
+				s := p.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal || !atomicFields[s.Obj()] {
+					return true
+				}
+				p.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere; this plain access races — use the atomic API here too",
+					s.Obj().Name())
+				return true
+			})
+		}
+	}
+
+	// Copylock check.
+	lc := &lockCache{seen: map[types.Type]string{}}
+	for _, f := range p.Files {
+		runCopyLocks(p, f, lc)
+	}
+}
+
+// lockCache memoizes which types contain a lock or atomic value.
+type lockCache struct {
+	seen map[types.Type]string // type -> contained lock path ("" = none)
+}
+
+// syncValueTypes are the by-value-uncopyable types of sync and
+// sync/atomic.
+var syncValueTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockPath returns a dotted description of the lock a type contains by
+// value (e.g. "SegCounters.Scanned (atomic.Int64)"), or "".
+func (lc *lockCache) lockPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := lc.seen[t]; ok {
+		return p
+	}
+	lc.seen[t] = "" // break recursion on self-referential types
+	path := lc.compute(t)
+	lc.seen[t] = path
+	return path
+}
+
+func (lc *lockCache) compute(t types.Type) string {
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			if set, ok := syncValueTypes[obj.Pkg().Path()]; ok && set[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		return lc.lockPath(n.Underlying())
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lc.lockPath(u.Field(i).Type()); p != "" {
+				return u.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		return lc.lockPath(u.Elem())
+	}
+	return ""
+}
+
+// runCopyLocks flags by-value copies of lock-holding structs in one
+// file: value parameters/results/receivers, assignments from existing
+// values (composite literals and calls construct, they do not copy),
+// dereference copies, and by-value range variables.
+func runCopyLocks(p *Pass, f *ast.File, lc *lockCache) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			t := p.Info.TypeOf(fld.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				continue
+			}
+			if path := lc.lockPath(t); path != "" {
+				p.Reportf(fld.Type.Pos(), "%s passes a lock by value: %s contains %s", what, types.TypeString(t, types.RelativeTo(p.Pkg)), path)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(st.Recv, "receiver")
+			checkFieldList(st.Type.Params, "parameter")
+			checkFieldList(st.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(st.Type.Params, "parameter")
+			checkFieldList(st.Type.Results, "result")
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !copiesValue(rhs) {
+					continue
+				}
+				t := p.Info.TypeOf(rhs)
+				if t == nil {
+					continue
+				}
+				if path := lc.lockPath(t); path != "" {
+					_ = st.Lhs[i]
+					p.Reportf(rhs.Pos(), "assignment copies a lock: %s contains %s", types.TypeString(t, types.RelativeTo(p.Pkg)), path)
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Value == nil {
+				return true
+			}
+			t := p.Info.TypeOf(st.Value)
+			if t == nil {
+				return true
+			}
+			if path := lc.lockPath(t); path != "" {
+				p.Reportf(st.Value.Pos(), "range copies a lock: %s contains %s", types.TypeString(t, types.RelativeTo(p.Pkg)), path)
+			}
+		}
+		return true
+	})
+}
+
+// copiesValue reports whether evaluating e yields a copy of an
+// existing value (as opposed to constructing a new one).
+func copiesValue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return x.Op == token.MUL
+	}
+	return false
+}

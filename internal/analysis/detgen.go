@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DetGen keeps the differential harness trustworthy: dataset
+// generators and the bench verification paths must produce identical
+// data on every run, or a "row-for-row identical" comparison proves
+// nothing. In package dataset, any wall-clock read (time.Now) or use
+// of math/rand's global, process-seeded state is a finding. In package
+// bench, the clock is legitimate (it measures), but data generation
+// must still be seeded: global rand state is flagged there too. The
+// blessed pattern is rand.New(rand.NewSource(seed)) with an explicit
+// seed — constructors that take the caller's source (New, NewSource,
+// NewZipf) are never flagged.
+var DetGen = &Analyzer{
+	Name: "detgen",
+	Doc:  "dataset generators and bench verification must be deterministic: no wall clock, no global rand",
+	Run:  runDetGen,
+}
+
+// detgenSeeded are the math/rand package functions that construct
+// explicitly-seeded generators rather than touching global state.
+var detgenSeeded = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetGen(p *Pass) {
+	var flagClock bool
+	switch p.Pkg.Name() {
+	case "dataset":
+		flagClock = true
+	case "bench":
+		flagClock = false
+	default:
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := funcPkgPath(p.Info, call)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if flagClock && name == "Now" {
+					p.Reportf(call.Pos(), "time.Now in a dataset generator breaks determinism; derive data from the seed only")
+				}
+			case "math/rand", "math/rand/v2":
+				if !detgenSeeded[name] {
+					p.Reportf(call.Pos(), "rand.%s uses process-global random state; use rand.New(rand.NewSource(seed)) so runs are reproducible", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader typechecks packages with nothing but the standard
+// library: module-internal import paths resolve through Roots onto
+// directories and are loaded recursively; everything else (the
+// standard library) goes through go/importer's source importer. The
+// repository has no external dependencies, so the two cover every
+// import — which is what lets nlivet run in environments without
+// golang.org/x/tools (see doc.go).
+
+// Root maps an import-path prefix onto a directory. A Prefix of ""
+// matches every path and resolves it relative to Dir — the layout of
+// analyzer test fixtures (testdata/src/<importpath>).
+type Root struct {
+	Prefix string
+	Dir    string
+}
+
+// Package is one loaded, typechecked package: the unit analyzers run
+// over.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and typechecks packages, memoizing by import path. It
+// implements types.ImporterFrom so package loads can trigger loads of
+// their module-internal imports.
+type Loader struct {
+	Fset  *token.FileSet
+	Roots []Root
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader creates a loader resolving module-internal imports through
+// roots.
+func NewLoader(roots ...Root) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Roots:   roots,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// resolve maps an import path onto a directory via the loader's roots,
+// or reports that the path is not module-internal.
+func (l *Loader) resolve(path string) (string, bool) {
+	for _, r := range l.Roots {
+		switch {
+		case r.Prefix == "":
+			dir := filepath.Join(r.Dir, filepath.FromSlash(path))
+			if hasGoFiles(dir) {
+				return dir, true
+			}
+		case path == r.Prefix:
+			return r.Dir, true
+		case strings.HasPrefix(path, r.Prefix+"/"):
+			return filepath.Join(r.Dir, filepath.FromSlash(strings.TrimPrefix(path, r.Prefix+"/"))), true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the roots, the rest through the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if rdir, ok := l.resolve(path); ok {
+		p, err := l.Load(path, rdir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load parses and typechecks the non-test Go files of dir as the
+// package with the given import path. Results are memoized; import
+// cycles are reported rather than recursed into.
+func (l *Loader) Load(importPath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}

@@ -1,0 +1,81 @@
+// Package atomicfield is a fixture for the atomic-access and copylock
+// contracts.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+}
+
+// bump establishes that counter.n is an atomic field.
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func plainLoad(c *counter) int64 {
+	return c.n // want "plain access races"
+}
+
+func plainStore(c *counter) {
+	c.n = 0 // want "plain access races"
+}
+
+func atomicLoad(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Fields typed atomic.Int64 are safe by construction.
+func typedField(c *counter) int64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func copyParam(g guarded) int { // want "parameter passes a lock by value"
+	return len(g.m)
+}
+
+func copyDeref(g *guarded) {
+	h := *g // want "assignment copies a lock"
+	_ = &h
+}
+
+func copyRange(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want "range copies a lock"
+		n += len(g.m)
+	}
+	return n
+}
+
+// Transitive containment: a struct holding an atomic value by value is
+// itself uncopyable.
+type counters struct {
+	scanned atomic.Int64
+}
+
+func copyCounters(c counters) int64 { // want "parameter passes a lock by value"
+	return c.scanned.Load()
+}
+
+// Pointers are how lock-holders travel.
+func okPtr(g *guarded, c *counters) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.scanned.Add(1)
+}
+
+// Composite literals and calls construct; they do not copy.
+func okConstruct() *guarded {
+	g := guarded{m: map[string]int{}}
+	return &g
+}

@@ -1,0 +1,34 @@
+// Package dataset is a fixture for detgen: generators must derive
+// every bit from the seed — no wall clock, no global rand.
+package dataset
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocked() int64 {
+	return time.Now().Unix() // want "time.Now in a dataset generator"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "process-global random state"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "process-global random state"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// The blessed pattern: an explicitly seeded generator; methods on it
+// are deterministic.
+func seeded(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.5, 1, 100)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(10) + int(z.Uint64())
+	}
+	return out
+}

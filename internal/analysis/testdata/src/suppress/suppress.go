@@ -1,0 +1,30 @@
+// Package suppress exercises the //nlivet:ignore directive: valid
+// directives (same line or the line above, with an analyzer name and
+// a reason) silence a finding; malformed ones are findings themselves
+// and silence nothing. The expected totals are asserted explicitly in
+// TestSuppression rather than via want comments, because the
+// directive occupies the line comment slot.
+package suppress
+
+import "store"
+
+func suppressedAbove(t *store.Table) int {
+	//nlivet:ignore snappin this probe tolerates torn reads deliberately
+	return t.Len()
+}
+
+func suppressedSameLine(t *store.Table) int {
+	return t.Len() //nlivet:ignore snappin single current-version probe
+}
+
+func missingReason(t *store.Table) int {
+	return t.Len() //nlivet:ignore snappin
+}
+
+func unknownAnalyzer(t *store.Table) int {
+	return t.Len() //nlivet:ignore nosuchcheck because reasons
+}
+
+func bareDirective(t *store.Table) int {
+	return t.Len() //nlivet:ignore
+}

@@ -59,9 +59,12 @@ type SegFootprint struct {
 }
 
 // MeasureSegFootprint builds both layouts of the named table and
-// reports their footprints.
+// reports their footprints. The table is pinned to one snapshot so
+// row count, segment bytes and column-vector bytes all describe the
+// same version even while writers publish (snappin: the unpinned
+// Table accessors would pin a fresh version per call).
 func MeasureSegFootprint(db *store.DB, table string) SegFootprint {
-	t := db.Table(table)
+	t := db.Table(table).Snap()
 	ss := t.Segments()
 	f := SegFootprint{
 		Rows:          t.Len(),
@@ -175,7 +178,7 @@ func MeasureSegQuery(db *store.DB, table, name, query string, par, reps int) (Se
 
 	out := SegQuery{
 		Name: name, Par: par,
-		Rows: db.Table(table).Len(),
+		Rows: sn.Table(table).Len(),
 		Seg:  seg, NoSeg: noSeg, RowMode: rowMode,
 		SegN:    c.Scanned.Load(),
 		SegSkip: c.Skipped.Load(),
