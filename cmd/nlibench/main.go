@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|all]
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|F10|F11|all]
 package main
 
 import (
@@ -27,8 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F9, F11) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F11) or 'all'")
 	flag.IntVar(&f11Rows, "f11rows", 10_000_000, "event-log rows for experiment F11")
+	flag.StringVar(&f10Sessions, "f10sessions", "1,64,1024", "comma-separated concurrent session counts for experiment F10")
+	flag.IntVar(&f10Asks, "f10asks", 32, "asks per session for experiment F10")
+	flag.DurationVar(&f10Deadline, "f10deadline", time.Second, "per-request deadline (the F10 latency bar)")
 	flag.Parse()
 
 	experiments := map[string]func() error{
@@ -36,9 +39,9 @@ func main() {
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
 		"F5": expF5, "F6": expF6, "F7": expF7, "F8": expF8,
-		"F9": expF9, "F11": expF11,
+		"F9": expF9, "F10": expF10, "F11": expF11,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F11"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -60,6 +63,14 @@ func main() {
 		flag.Visit(func(f *flag.Flag) { f11Set = f11Set || f.Name == "f11rows" })
 		if !f11Set && f11Rows > 1_000_000 {
 			f11Rows = 1_000_000
+		}
+		// Same for F10: the standalone default includes a 1024-session
+		// scenario (~33K requests); the sweep keeps the bar-bearing 64
+		// sessions only.
+		f10Set := false
+		flag.Visit(func(f *flag.Flag) { f10Set = f10Set || f.Name == "f10sessions" })
+		if !f10Set {
+			f10Sessions = "1,64"
 		}
 		for _, id := range order {
 			run(id)
@@ -619,6 +630,87 @@ func expF9() error {
 		return fmt.Errorf("F9: plan-stage speedup %.1fx collapsed (bar 5x, hard floor 3x)", r.PlanSpeedup())
 	}
 	return nil
+}
+
+// F10 knobs (flags -f10sessions, -f10asks, -f10deadline).
+var (
+	f10Sessions string
+	f10Asks     int
+	f10Deadline time.Duration
+)
+
+// expF10 measures the serving layer (internal/serve) under closed-loop
+// load: sustained QPS and p50/p99 latency at each concurrent-session
+// count with a hot/cold cache mix, then an overload burst against a
+// tightly-sized admission controller. Bars: zero requests may end
+// without a definite status, p99 at 64 sessions stays under the
+// configured deadline, the overload run rejects its excess with 429
+// while its admitted requests stay under the deadline, and the whole
+// experiment leaks no goroutines.
+func expF10() error {
+	header("F10", fmt.Sprintf("serving layer under load: deadline %v, %d asks/session (GOMAXPROCS=%d)",
+		f10Deadline, f10Asks, runtime.GOMAXPROCS(0)))
+	var sessions []int
+	for _, s := range strings.Split(f10Sessions, ",") {
+		n := 0
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("F10: bad -f10sessions entry %q", s)
+		}
+		sessions = append(sessions, n)
+	}
+	r, err := bench.RunF10(2, sessions, f10Asks, f10Deadline)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %8s %7s %7s %7s %6s %7s %9s %11s %11s\n",
+		"sessions", "asks", "200", "429", "504", "err", "cached", "QPS", "p50", "p99")
+	row := func(name string, sc bench.F10Scenario) {
+		fmt.Printf("%-10s %8d %7d %7d %7d %6d %7d %9.0f %11s %11s\n",
+			name, sc.Asks, sc.Served, sc.Rejected, sc.Timeout, sc.Errors,
+			sc.Cached, sc.QPS, sc.P50, sc.P99)
+	}
+	for _, sc := range r.Scenarios {
+		row(fmt.Sprintf("%d", sc.Sessions), sc)
+	}
+	row("overload", r.Overload)
+	fmt.Printf("\n%-38s %8d (degraded answers: sustained %d, overload %d)\n",
+		"goroutine growth after shutdown", r.GoroutineGrowth,
+		sumDegraded(r.Scenarios), r.Overload.Degraded)
+	fmt.Printf("%-38s %8s   (bar: < %v)\n", "overload admitted p99", r.AdmittedP99, r.Deadline)
+
+	// Bars. Every request must resolve — a hung request would have
+	// stalled the closed loop forever, an unexpected status counts
+	// here.
+	for _, sc := range r.Scenarios {
+		if sc.Errors > 0 {
+			return fmt.Errorf("F10: %d requests at %d sessions ended with unexpected statuses", sc.Errors, sc.Sessions)
+		}
+		if sc.Sessions == 64 && sc.P99 >= r.Deadline {
+			return fmt.Errorf("F10: p99 %v at 64 sessions breaches the %v deadline bar", sc.P99, r.Deadline)
+		}
+	}
+	if r.Overload.Errors > 0 {
+		return fmt.Errorf("F10: %d overload requests ended with unexpected statuses", r.Overload.Errors)
+	}
+	if r.Overload.Rejected == 0 {
+		return fmt.Errorf("F10: overload rejected nothing — backpressure never engaged")
+	}
+	if r.Overload.Served > 0 && r.AdmittedP99 >= r.Deadline {
+		return fmt.Errorf("F10: admitted overload p99 %v breaches the %v deadline bar", r.AdmittedP99, r.Deadline)
+	}
+	if r.GoroutineGrowth > 2 {
+		return fmt.Errorf("F10: %d goroutines leaked across the run", r.GoroutineGrowth)
+	}
+	return nil
+}
+
+func sumDegraded(scs []bench.F10Scenario) int {
+	n := 0
+	for _, sc := range scs {
+		n += sc.Degraded
+	}
+	return n
 }
 
 // chainSchema builds t0 -> t1 -> ... -> t(n-1) linked by foreign keys.

@@ -17,6 +17,10 @@
 //     enforced by the Filter above the scan (§2.7).
 //   - detgen: dataset generators and benchmark verification data must
 //     stay deterministic — no wall clock, no global rand state.
+//   - ctxfirst: the request-path packages (serve, core, exec) take
+//     context.Context as the first parameter of exported Ctx variants
+//     and never store a context in a struct — long-lived state carries
+//     Done/Cause instead (§2.9).
 //
 // The suite is modeled on golang.org/x/tools/go/analysis but is built
 // on the standard library alone (go/ast + go/types + a source
@@ -79,7 +83,7 @@ func (d Diagnostic) String() string {
 
 // Suite returns the nlivet analyzers in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Snappin, BatchRetain, AtomicField, SkipAdvisory, DetGen}
+	return []*Analyzer{Snappin, BatchRetain, AtomicField, SkipAdvisory, DetGen, CtxFirst}
 }
 
 // Run executes the analyzers over one loaded package and returns the

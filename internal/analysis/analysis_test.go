@@ -106,6 +106,11 @@ func TestDetGen(t *testing.T) {
 	checkAnalyzer(t, "detgen/bench", DetGen)
 }
 
+func TestCtxFirst(t *testing.T) {
+	checkAnalyzer(t, "ctxfirst/serve", CtxFirst)
+	checkAnalyzer(t, "ctxfirst/other", CtxFirst)
+}
+
 // TestSuppression exercises the //nlivet:ignore path: well-formed
 // directives (same line or the line above) silence a finding;
 // malformed ones — bare, unknown analyzer, missing reason — are

@@ -1,0 +1,22 @@
+// Package other is a fixture for ctxfirst: packages off the request
+// path are out of scope, so the same shapes produce no findings.
+package other
+
+import "context"
+
+func AskShedCtx(question string) error {
+	_ = question
+	return nil
+}
+
+func Execute(q string, ctx context.Context) error {
+	_ = q
+	_ = ctx
+	return nil
+}
+
+type holder struct {
+	ctx context.Context
+}
+
+var _ = holder{}

@@ -1,0 +1,83 @@
+// Package serve is a fixture for ctxfirst: a request-path package
+// (serve/core/exec by name) threads cancellation through call
+// arguments — context first on exported Ctx variants, no context ever
+// parked in a struct.
+package serve
+
+import "context"
+
+// AskCtx is the convention done right: Ctx suffix, context first.
+func AskCtx(ctx context.Context, question string) error {
+	_ = ctx
+	_ = question
+	return nil
+}
+
+// Engine carries the decomposed form — legal: cancellation state as a
+// Done channel and Cause func, not a stored context.
+type Engine struct {
+	done  <-chan struct{}
+	cause func() error
+}
+
+// RunCtx as a method: the receiver is not a parameter, the context
+// still comes first.
+func (e *Engine) RunCtx(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// AskShedCtx is missing its context entirely.
+func AskShedCtx(question string, par int) error { // want "AskShedCtx must take a context.Context as its first parameter"
+	_ = question
+	_ = par
+	return nil
+}
+
+// BoundCtx takes one, but not first.
+func (e *Engine) BoundCtx(q string, ctx context.Context) error { // want "BoundCtx must take a context.Context as its first parameter"
+	_ = q
+	_ = ctx
+	return nil
+}
+
+// Execute is not a Ctx variant, but its context must still come first.
+func Execute(q string, ctx context.Context) error { // want "context.Context parameter of exported Execute must come first"
+	_ = q
+	_ = ctx
+	return nil
+}
+
+// Interpret has no context at all and no Ctx suffix: fine.
+func Interpret(q string) error {
+	_ = q
+	return nil
+}
+
+// askCtx is unexported: the exported-API contract does not apply.
+func askCtx(q string, ctx context.Context) error {
+	_ = q
+	_ = ctx
+	return nil
+}
+
+// server stores the request context "for later" — the exact bug the
+// rule exists to prevent.
+type server struct {
+	ctx context.Context // want "struct field stores a context.Context"
+	id  int
+}
+
+// nested anonymous structs are covered too.
+var scratch struct {
+	inner struct {
+		c context.Context // want "struct field stores a context.Context"
+	}
+}
+
+// A suppressed field: the directive names the analyzer and a reason.
+type lifecycle struct {
+	//nlivet:ignore ctxfirst process-lifetime base context, canceled only at shutdown
+	base context.Context
+}

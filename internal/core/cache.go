@@ -33,14 +33,56 @@ type cacheEntry struct {
 // that keeps the cache useful on a live, continuously-loaded store.
 // The cache is safe for concurrent lookups and stores (high-QPS
 // serving shares one engine).
+// Per-entry size caps: one entry occupies one LRU slot regardless of
+// its payload, so without a cap a single huge result set pins an
+// arbitrary amount of memory behind the cache bound. Oversized answers
+// are still served — they are just never cached.
+const (
+	defaultCacheMaxRows  = 4096
+	defaultCacheMaxBytes = 1 << 20
+)
+
 type answerCache struct {
-	mu      sync.Mutex
-	size    int
-	entries map[string]*cacheEntry
+	mu       sync.Mutex
+	size     int
+	maxRows  int // per-entry result row cap; <= 0 means uncapped
+	maxBytes int // per-entry approximate result byte cap; <= 0 means uncapped
+	entries  map[string]*cacheEntry
 }
 
-func newAnswerCache(size int) *answerCache {
-	return &answerCache{size: size, entries: make(map[string]*cacheEntry)}
+func newAnswerCache(size, maxRows, maxBytes int) *answerCache {
+	return &answerCache{size: size, maxRows: maxRows, maxBytes: maxBytes,
+		entries: make(map[string]*cacheEntry)}
+}
+
+// cacheable reports whether an answer's result fits the per-entry
+// caps. Byte size is an estimate: fixed Value overhead plus text
+// payload — what the copy in snapshotAnswer will actually retain.
+func (c *answerCache) cacheable(ans *Answer) bool {
+	if ans.Result == nil {
+		return true
+	}
+	rows := len(ans.Result.Rows)
+	if c.maxRows > 0 && rows > c.maxRows {
+		return false
+	}
+	if c.maxBytes <= 0 {
+		return true
+	}
+	const valueOverhead = 48 // sizeof(store.Value) rounded up
+	bytes := 0
+	for _, r := range ans.Result.Rows {
+		bytes += len(r) * valueOverhead
+		for _, v := range r {
+			if v.Kind() == store.KindText {
+				bytes += len(v.Str())
+			}
+		}
+		if bytes > c.maxBytes {
+			return false
+		}
+	}
+	return true
 }
 
 // stale reports whether any dependency table has moved past the
@@ -81,6 +123,9 @@ func (c *answerCache) lookup(key string, current func(table string) uint64) *Ans
 // live ones), falling back to an arbitrary victim — hot questions
 // re-enter on their next ask, and the bound is what matters.
 func (c *answerCache) store(key string, deps []tableDep, ans *Answer, current func(table string) uint64) {
+	if !c.cacheable(ans) {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.size {
@@ -116,6 +161,17 @@ func snapshotDeps(tables []string, sn *store.Snapshot) []tableDep {
 // its answer cannot poison the cached entry, and vice versa.
 // Interpretation structures (Query, SQL, Plan, Ranked) stay shared:
 // they are treated as immutable once the answer is built.
+// cacheableAnswer is snapshotAnswer with the per-ask serving flags
+// cleared: whether this ask ran degraded or queued is a fact about the
+// load at the moment it ran, not about the answer, and must not leak
+// into later asks served from the cache.
+func cacheableAnswer(ans *Answer) *Answer {
+	cp := snapshotAnswer(ans)
+	cp.Degraded = false
+	cp.Timings.Queue = 0
+	return cp
+}
+
 func snapshotAnswer(ans *Answer) *Answer {
 	cp := *ans
 	if ans.Result != nil {

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"strings"
 	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
 
 	"repro/internal/sql"
 	"repro/internal/store"
@@ -142,4 +146,58 @@ func answerCount(t *testing.T, ans *Answer) int {
 		t.Fatalf("count cell is not numeric: %v", ans.Result.Rows[0][0])
 	}
 	return int(f)
+}
+
+// TestAnswerCacheEntrySizeCap: a result past the per-entry row or byte
+// cap is served but never cached — one pathological question must not
+// pin a huge result set behind a single LRU slot. Small results still
+// cache normally under the same configuration.
+func TestAnswerCacheEntrySizeCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AnswerCacheMaxRows = 3 // list queries return far more students
+	e := NewEngine(dataset.University(1), opts)
+
+	big := "students with gpa over 3.5"
+	first, err := e.Ask(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(first.Result.Rows); n <= opts.AnswerCacheMaxRows {
+		t.Fatalf("test premise broken: %q returned only %d rows", big, n)
+	}
+	again, err := e.Ask(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Errorf("oversized result (%d rows > cap %d) was cached",
+			len(first.Result.Rows), opts.AnswerCacheMaxRows)
+	}
+
+	small := "how many students with gpa over 3.5"
+	if _, err := e.Ask(small); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := e.Ask(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("single-row result under the cap was not cached")
+	}
+
+	// The byte cap rejects few-but-fat rows independently of the row cap.
+	c := newAnswerCache(8, 0, 64)
+	fat := &Answer{Result: &exec.Result{Cols: []string{"name"}, Rows: []store.Row{
+		{store.Text(strings.Repeat("x", 256))},
+	}}}
+	c.store("fat", nil, fat, func(string) uint64 { return 0 })
+	if c.lookup("fat", func(string) uint64 { return 0 }) != nil {
+		t.Error("entry over the byte cap was cached")
+	}
+	lean := &Answer{Result: &exec.Result{Cols: []string{"n"}, Rows: []store.Row{{store.Int(1)}}}}
+	c.store("lean", nil, lean, func(string) uint64 { return 0 })
+	if c.lookup("lean", func(string) uint64 { return 0 }) == nil {
+		t.Error("entry under the byte cap was not cached")
+	}
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,6 +51,14 @@ type Options struct {
 	// different constants skip planning and pay only a bind. 0 disables
 	// the cache — every ask then plans from scratch (the F9 ablation).
 	PlanCacheSize int
+
+	// AnswerCacheMaxRows / AnswerCacheMaxBytes cap a single answer-cache
+	// entry: a result exceeding either cap is served but never cached,
+	// so one pathological question cannot pin a huge result set behind
+	// an LRU slot. 0 resolves to the defaults (4096 rows, 1 MiB);
+	// negative disables the cap.
+	AnswerCacheMaxRows  int
+	AnswerCacheMaxBytes int
 }
 
 // DefaultOptions enables everything with spelling correction at
@@ -69,6 +78,7 @@ func DefaultOptions() Options {
 
 // Timings is the per-stage latency breakdown of one question.
 type Timings struct {
+	Queue    time.Duration // admission-control wait before the pipeline ran (set by the serving layer)
 	Correct  time.Duration // spelling correction
 	Annotate time.Duration // semantic-index span annotation
 	Parse    time.Duration // semantic-grammar parsing
@@ -93,6 +103,7 @@ type Answer struct {
 	Response    string // English rendering of the result
 	Cached      bool   // served from the answer cache, pipeline skipped
 	PlanCached  bool   // plan served from the template cache: bound, not planned
+	Degraded    bool   // executed load-shed to a lower degree than the engine's Parallelism
 
 	// PlanCacheHits / PlanCacheMisses are the engine's cumulative
 	// plan-template cache counters at the time this answer was
@@ -132,7 +143,14 @@ func NewEngine(db *store.DB, opts Options) *Engine {
 		opts: opts,
 	}
 	if opts.AnswerCacheSize > 0 {
-		e.cache = newAnswerCache(opts.AnswerCacheSize)
+		maxRows, maxBytes := opts.AnswerCacheMaxRows, opts.AnswerCacheMaxBytes
+		if maxRows == 0 {
+			maxRows = defaultCacheMaxRows
+		}
+		if maxBytes == 0 {
+			maxBytes = defaultCacheMaxBytes
+		}
+		e.cache = newAnswerCache(opts.AnswerCacheSize, maxRows, maxBytes)
 	}
 	if opts.PlanCacheSize > 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize)
@@ -230,6 +248,24 @@ func (e *Engine) Interpret(question string) (*Answer, error) {
 // planning and execution, so the answer is computed over a single
 // consistent data version even while writers are active.
 func (e *Engine) Ask(question string) (*Answer, error) {
+	return e.AskShedCtx(context.Background(), question, 0)
+}
+
+// AskCtx is Ask under a request context: execution observes ctx
+// cancellation at batch granularity and aborts with context.Cause(ctx)
+// instead of finishing work nobody is waiting for. A background
+// context makes it exactly Ask.
+func (e *Engine) AskCtx(ctx context.Context, question string) (*Answer, error) {
+	return e.AskShedCtx(ctx, question, 0)
+}
+
+// AskShedCtx is AskCtx with an execution-time parallelism cap: execPar
+// == 0 runs at the engine's configured Parallelism, execPar == 1 sheds
+// the (cached, parallel) plan to serial execution — the serving
+// layer's graceful-degradation path under load. Results are row-for-
+// row identical at any degree; the answer reports Degraded when the
+// cap actually lowered the degree.
+func (e *Engine) AskShedCtx(ctx context.Context, question string, execPar int) (*Answer, error) {
 	total := time.Now()
 	toks, fixes, correct := e.correctTokens(question)
 
@@ -255,7 +291,7 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 		return ans, err
 	}
 	sn := e.DB.Snapshot()
-	if err := e.execute(ans, stmt, sn, &tm); err != nil {
+	if err := e.execute(ctx, ans, stmt, sn, &tm, execPar); err != nil {
 		tm.Total = time.Since(total)
 		ans.Timings = tm
 		return ans, err
@@ -263,7 +299,7 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 	tm.Total = time.Since(total)
 	ans.Timings = tm
 	if e.cache != nil {
-		e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), snapshotAnswer(ans), e.DB.TableVersion)
+		e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), cacheableAnswer(ans), e.DB.TableVersion)
 	}
 	return ans, nil
 }
@@ -271,16 +307,21 @@ func (e *Engine) Ask(question string) (*Answer, error) {
 // execute plans stmt at the engine's parallelism degree against the
 // pinned snapshot — through the plan-template cache when enabled —
 // runs it on that same snapshot and verbalizes the result into ans,
-// filling the plan/bind/execute timings.
-func (e *Engine) execute(ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, tm *Timings) error {
+// filling the plan/bind/execute timings. Plans are always compiled and
+// cached at the engine's full Parallelism; execPar > 0 caps the degree
+// at run time only (Exchange degrades to a serial passthrough at cap
+// 1), so a load-shed ask reuses the cached parallel plan without
+// recompiling and the template cache never forks per degree.
+func (e *Engine) execute(ctx context.Context, ans *Answer, stmt *sql.SelectStmt, sn *store.Snapshot, tm *Timings, execPar int) error {
 	p, params, err := e.planFor(ans, stmt, sn, tm)
 	if err != nil {
 		return fmt.Errorf("core: planning %q: %w", stmt, err)
 	}
 	ans.Plan = p
+	ans.Degraded = execPar > 0 && execPar < e.opts.Parallelism
 
 	start := time.Now()
-	res, err := exec.RunBoundAt(sn, p, params)
+	res, err := exec.RunBoundAtCtx(ctx, sn, p, params, execPar)
 	tm.Execute = time.Since(start)
 	if err != nil {
 		return fmt.Errorf("core: executing %q: %w", stmt, err)
@@ -443,6 +484,19 @@ func (c *Conversation) Context() *iql.Query {
 // Follow-ups never touch the cache: their meaning depends on context,
 // not just on their tokens.
 func (c *Conversation) Ask(question string) (*Answer, bool, error) {
+	return c.AskShedCtx(context.Background(), question, 0)
+}
+
+// AskCtx is Ask under a request context (see Engine.AskCtx).
+func (c *Conversation) AskCtx(ctx context.Context, question string) (*Answer, bool, error) {
+	return c.AskShedCtx(ctx, question, 0)
+}
+
+// AskShedCtx is AskCtx with an execution-time parallelism cap (see
+// Engine.AskShedCtx) — the form the serving layer calls, threading the
+// request deadline and the admission controller's degradation verdict
+// into the turn.
+func (c *Conversation) AskShedCtx(ctx context.Context, question string, execPar int) (*Answer, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	total := time.Now()
@@ -481,7 +535,7 @@ func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 	ans.SQL = stmt
 
 	sn := c.e.DB.Snapshot()
-	if err := c.e.execute(ans, stmt, sn, &tm); err != nil {
+	if err := c.e.execute(ctx, ans, stmt, sn, &tm, execPar); err != nil {
 		tm.Total = time.Since(total)
 		ans.Timings = tm
 		return ans, turn.FollowUp, err
@@ -489,7 +543,7 @@ func (c *Conversation) Ask(question string) (*Answer, bool, error) {
 	tm.Total = time.Since(total)
 	ans.Timings = tm
 	if c.e.cache != nil && !turn.FollowUp {
-		c.e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), snapshotAnswer(ans), c.e.DB.TableVersion)
+		c.e.cache.store(key, snapshotDeps(sql.Tables(stmt), sn), cacheableAnswer(ans), c.e.DB.TableVersion)
 	}
 	return ans, turn.FollowUp, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -32,7 +33,7 @@ func TestAskErrorPathsFillTimings(t *testing.T) {
 	// The execute-error path fills the planning timing it spent.
 	var tm Timings
 	bad := sql.MustParse("SELECT x FROM nonexistent")
-	if err := e.execute(&Answer{}, bad, e.DB.Snapshot(), &tm); err == nil {
+	if err := e.execute(context.Background(), &Answer{}, bad, e.DB.Snapshot(), &tm, 0); err == nil {
 		t.Fatal("expected a planning error for an unknown table")
 	}
 	if tm.Plan <= 0 {

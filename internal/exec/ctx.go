@@ -1,0 +1,56 @@
+// Context-aware execution entry points. The serving layer threads each
+// HTTP request's context down to the iterator loops through these
+// variants; the context-free APIs in exec.go delegate here with
+// context.Background() and stay byte-for-byte compatible. Per the
+// ctxfirst contract (enforced by nlivet), every exported ...Ctx
+// function takes the context as its first parameter and nothing stores
+// a context in a struct — the executor carries only the context's Done
+// channel and a context.Cause callback.
+
+package exec
+
+import (
+	"context"
+
+	"repro/internal/plan"
+	"repro/internal/store"
+)
+
+// RunAtCtx is RunAt under a request context: the run observes ctx
+// cancellation at batch granularity (leaf scans, materialize loops,
+// exchange morsel claims) and returns context.Cause(ctx) promptly
+// instead of finishing work nobody is waiting for. A background
+// context makes it exactly RunAt.
+func RunAtCtx(ctx context.Context, sn *store.Snapshot, p *plan.Plan) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.arm(ctx)
+	return ex.run(p, nil)
+}
+
+// RunBoundAtCtx is RunBoundAt under a request context, with an
+// execution-time parallelism cap: par == 0 runs at the plan's compiled
+// degree, par == 1 sheds a parallel plan to serial execution (the
+// degradation path — Exchange collapses to a passthrough, results stay
+// row-for-row identical), other values cap the worker count. The cap
+// applies at run time, so a load-shed ask reuses the cached parallel
+// plan without recompiling.
+func RunBoundAtCtx(ctx context.Context, sn *store.Snapshot, p *plan.Plan, params []store.Value, par int) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.params = params
+	ex.par = par
+	ex.arm(ctx)
+	return ex.run(p, nil)
+}
+
+// arm points the executor's cancellation signal at ctx. Background and
+// TODO contexts have a nil Done channel, so unserved paths keep the
+// zero-overhead nil signal.
+func (ex *executor) arm(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	if done := ctx.Done(); done != nil {
+		ex.done = done
+		ex.cause = func() error { return context.Cause(ctx) }
+	}
+}

@@ -207,6 +207,21 @@ type executor struct {
 	// every subquery (slots are numbered across the whole statement
 	// tree). nil for fully-literal statements.
 	params []store.Value
+
+	// done and cause carry a served request's cancellation signal into
+	// plan.Ctx — the Done channel and context.Cause of the request's
+	// context, extracted by the ...Ctx entry points. They are channel
+	// and callback, not a stored context (the ctxfirst rule): contexts
+	// flow through call chains, never into struct fields.
+	done  <-chan struct{}
+	cause func() error
+
+	// par, when > 0, caps the execution-time parallel degree (plan.Ctx
+	// Par) below the plan's compiled degree. The serving layer uses
+	// par=1 to shed a cached parallel plan to serial execution under
+	// load without recompiling it — Exchange degrades to a passthrough
+	// when its worker cap is 1.
+	par int
 }
 
 func newExecutor(sn *store.Snapshot) *executor {
@@ -220,7 +235,8 @@ func newExecutor(sn *store.Snapshot) *executor {
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
 	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent,
-		NoVec: ex.noVec, NoSeg: ex.noSeg, SegC: ex.segC, Params: ex.params})
+		NoVec: ex.noVec, NoSeg: ex.noSeg, SegC: ex.segC, Params: ex.params,
+		Par: ex.par, Done: ex.done, Cause: ex.cause})
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,19 @@ type Ctx struct {
 	// run (including Exchange workers — the fields are atomic).
 	SegC *store.SegCounters
 
+	// Done, when non-nil, is the cancellation signal of the request
+	// this run serves (a context's Done channel, threaded by exec).
+	// Iterator loops check it at batch granularity — see cancel.go —
+	// and abort the run with Cause's error (context.Canceled when
+	// Cause is nil or returns nil). A nil Done runs with zero
+	// cancellation overhead.
+	Done <-chan struct{}
+
+	// Cause reports why Done closed (context.Cause of the request
+	// context), letting the serving layer distinguish a deadline from
+	// a client disconnect in the error it maps to a status code.
+	Cause func() error
+
 	part    *morselRun   // set inside an Exchange worker: the leaf's morsel
 	shared  *sharedState // per-run state shared across Exchange workers
 	scratch []byte       // reusable composite-key buffer; see keyScratch
@@ -89,6 +102,9 @@ func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
 	if ctx.Par > 1 && ctx.shared == nil {
 		ctx.shared = &sharedState{}
 	}
+	if err := ctx.canceled(); err != nil {
+		return nil, err
+	}
 	var it iter
 	var err error
 	if !ctx.NoVec && staticVec(p.Root) {
@@ -112,6 +128,11 @@ func Run(p *Plan, ctx *Ctx) ([]store.Row, error) {
 			return rows, nil
 		}
 		rows = append(rows, r)
+		if len(rows)%cancelCheckRows == 0 {
+			if err := ctx.canceled(); err != nil {
+				return nil, err
+			}
+		}
 	}
 }
 
@@ -148,14 +169,14 @@ func vecGainful(n Node) bool {
 
 func (s *Scan) open(ctx *Ctx) (iter, error) {
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
-		return projectRows(mr.rows, s.B), nil
+		return ctxIter(ctx, projectRows(mr.rows, s.B)), nil
 	}
 	tab := ctx.Snap.Table(s.B.Meta.Name)
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
 	rows := tab.Rows()
-	return projectRows(rows, s.B), nil
+	return ctxIter(ctx, projectRows(rows, s.B)), nil
 }
 
 // probeVals resolves the scan's probe and bounds against the run's
@@ -237,13 +258,13 @@ func (s *IndexScan) lookupRows(ctx *Ctx) ([]store.Row, error) {
 
 func (s *IndexScan) open(ctx *Ctx) (iter, error) {
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
-		return projectRows(mr.rows, s.B), nil
+		return ctxIter(ctx, projectRows(mr.rows, s.B)), nil
 	}
 	rows, err := s.lookupRows(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return projectRows(rows, s.B), nil
+	return ctxIter(ctx, projectRows(rows, s.B)), nil
 }
 
 // projectRows iterates rows narrowed to the binding's retained columns
@@ -428,6 +449,11 @@ func drain(n Node, ctx *Ctx) ([]store.Row, error) {
 			return rows, nil
 		}
 		rows = append(rows, r)
+		if len(rows)%cancelCheckRows == 0 {
+			if err := ctx.canceled(); err != nil {
+				return nil, err
+			}
+		}
 	}
 }
 

@@ -229,6 +229,11 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 				if m >= nm || failed.Load() {
 					return
 				}
+				if err := ctx.canceled(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
 				lo, hi := m*morsel, (m+1)*morsel
 				if hi > len(rows) {
 					hi = len(rows)
@@ -388,6 +393,10 @@ func (a *Aggregate) parallelGroups(ctx *Ctx, rel *Rel, input []store.Row, par in
 			if hi > len(input) {
 				hi = len(input)
 			}
+			if err := ctx.canceled(); err != nil {
+				errs[c] = err
+				return
+			}
 			p := partial{byKey: map[string]*Group{}}
 			frame := &Frame{Rel: rel, Parent: ctx.Parent}
 			var buf []byte // per-goroutine scratch, never shared
@@ -452,6 +461,10 @@ func (a *Aggregate) evalGroups(ctx *Ctx, groups []*Group, par int) ([]store.Row,
 			for {
 				gi := int(next.Add(1)) - 1
 				if gi >= len(groups) {
+					return
+				}
+				if err := ctx.canceled(); err != nil {
+					errs[w] = err
 					return
 				}
 				row, keep, err := a.evalGroup(ctx, groups[gi])

@@ -82,9 +82,20 @@ func staticVec(n Node) bool {
 func vecOpen(n Node, ctx *Ctx) (viter, error) {
 	switch t := n.(type) {
 	case *Scan:
-		return t.vopen(ctx)
+		// Leaf scans carry the cancellation checkpoint: every batch a
+		// vectorized pipeline processes is pulled through a leaf, so a
+		// per-batch check here covers the whole operator tree.
+		it, err := t.vopen(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ctxViter(ctx, it), nil
 	case *IndexScan:
-		return t.vopen(ctx)
+		it, err := t.vopen(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ctxViter(ctx, it), nil
 	case *Filter:
 		return t.vopen(ctx)
 	case *HashJoin:
@@ -1321,6 +1332,11 @@ func (e *Exchange) vopen(ctx *Ctx) (viter, error) {
 			for {
 				m := int(next.Add(1)) - 1
 				if m >= nm || failed.Load() {
+					return
+				}
+				if err := ctx.canceled(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
 					return
 				}
 				lo, hi := m*morsel, (m+1)*morsel

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeAskHot is the per-request hot path: a question whose
+// answer sits in the engine's answer cache, served through the full
+// HTTP handler — decode, admission, cache hit, JSON encode. The
+// allocguard CI gate pins this benchmark's allocation count, so
+// regressions in the front door's per-request overhead fail the build.
+func BenchmarkServeAskHot(b *testing.B) {
+	s := New(testEngine(b), Config{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	const body = `{"question": "how many students are in Computer Science?"}`
+	warm := post(s, "/api/ask", body)
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/api/ask", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Session management. A session is one client's multi-turn
+// conversation: follow-up questions ("which of those are seniors?")
+// resolve against the dialogue context accumulated under the client's
+// session ID. Sessions are server-side state, so both axes are
+// bounded: a TTL evicts sessions idle past SessionTTL (a janitor
+// sweeps on a timer and lookups double-check), and MaxSessions caps
+// the live count — creating past the cap evicts the least-recently
+// used session.
+//
+// Eviction racing an in-flight ask is safe by construction:
+// core.Conversation serializes its own turns internally, and eviction
+// only unlinks the session from the table. The in-flight turn finishes
+// on the unlinked conversation; the next request under that ID starts
+// a fresh context. No lock is held across an ask.
+
+// session is one live conversation plus its recency bookkeeping, all
+// guarded by the owning table's mutex.
+type session struct {
+	id       string
+	conv     *core.Conversation
+	lastUsed time.Time
+	turns    uint64
+}
+
+// sessionTable owns every live session.
+type sessionTable struct {
+	mu      sync.Mutex
+	eng     *core.Engine
+	ttl     time.Duration
+	max     int
+	m       map[string]*session
+	evicted uint64 // cumulative TTL + LRU evictions (observability)
+}
+
+func newSessionTable(eng *core.Engine, ttl time.Duration, max int) *sessionTable {
+	return &sessionTable{eng: eng, ttl: ttl, max: max, m: make(map[string]*session)}
+}
+
+// get returns the conversation for id, creating it on first use. The
+// second result reports whether the session already existed. A session
+// that outlived its TTL is replaced by a fresh one even if the janitor
+// has not swept it yet — a client must never resume a context the TTL
+// already expired.
+func (t *sessionTable) get(id string) (*core.Conversation, bool) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	if ok && t.ttl > 0 && now.Sub(s.lastUsed) > t.ttl {
+		delete(t.m, id)
+		t.evicted++
+		ok = false
+	}
+	if !ok {
+		if t.max > 0 && len(t.m) >= t.max {
+			t.evictLRULocked()
+		}
+		s = &session{id: id, conv: t.eng.NewConversation()}
+		t.m[id] = s
+	}
+	s.lastUsed = now
+	s.turns++
+	return s.conv, ok
+}
+
+// evictLRULocked drops the least-recently-used session to make room.
+func (t *sessionTable) evictLRULocked() {
+	var victim string
+	var oldest time.Time
+	for id, s := range t.m {
+		if victim == "" || s.lastUsed.Before(oldest) {
+			victim, oldest = id, s.lastUsed
+		}
+	}
+	if victim != "" {
+		delete(t.m, victim)
+		t.evicted++
+	}
+}
+
+// sweep evicts every session idle past the TTL; the server's janitor
+// goroutine calls it on a timer.
+func (t *sessionTable) sweep(now time.Time) {
+	if t.ttl <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, s := range t.m {
+		if now.Sub(s.lastUsed) > t.ttl {
+			delete(t.m, id)
+			t.evicted++
+		}
+	}
+}
+
+// purge drops every session (shutdown).
+func (t *sessionTable) purge() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.m)
+}
+
+// stats reports the live session count and cumulative evictions.
+func (t *sessionTable) stats() (live int, evicted uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m), t.evicted
+}
