@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|F10|F11|all]
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|F10|F11|F12|all]
 package main
 
 import (
@@ -27,8 +27,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F11) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F12) or 'all'")
 	flag.IntVar(&f11Rows, "f11rows", 10_000_000, "event-log rows for experiment F11")
+	flag.IntVar(&f12Rows, "f12rows", 4_194_304, "event-log rows for experiment F12 (rounded up to whole 64K segments)")
+	flag.IntVar(&f12CacheMB, "f12cache", 0, "segment-cache budget in MiB for F12 (0 = dataset/8, keeping the 4x larger-than-memory bar)")
 	flag.StringVar(&f10Sessions, "f10sessions", "1,64,1024", "comma-separated concurrent session counts for experiment F10")
 	flag.IntVar(&f10Asks, "f10asks", 32, "asks per session for experiment F10")
 	flag.DurationVar(&f10Deadline, "f10deadline", time.Second, "per-request deadline (the F10 latency bar)")
@@ -39,9 +41,9 @@ func main() {
 		"T5": expT5, "T6": expT6,
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
 		"F5": expF5, "F6": expF6, "F7": expF7, "F8": expF8,
-		"F9": expF9, "F10": expF10, "F11": expF11,
+		"F9": expF9, "F10": expF10, "F11": expF11, "F12": expF12,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -63,6 +65,14 @@ func main() {
 		flag.Visit(func(f *flag.Flag) { f11Set = f11Set || f.Name == "f11rows" })
 		if !f11Set && f11Rows > 1_000_000 {
 			f11Rows = 1_000_000
+		}
+		// Same for F12: cold reps do real disk I/O, so the sweep keeps
+		// the smallest log that still spans enough 64K segments for the
+		// larger-than-memory bars.
+		f12Set := false
+		flag.Visit(func(f *flag.Flag) { f12Set = f12Set || f.Name == "f12rows" })
+		if !f12Set && f12Rows > 1_048_576 {
+			f12Rows = 1_048_576
 		}
 		// Same for F10: the standalone default includes a 1024-session
 		// scenario (~33K requests); the sweep keeps the bar-bearing 64
@@ -812,5 +822,104 @@ func expF11() error {
 	} else if tsSerialFactor < 1 {
 		return fmt.Errorf("F11: selective clustered scan regressed (%.2fx) vs the uncompressed layout", tsSerialFactor)
 	}
+	return nil
+}
+
+// f12Rows sizes the F12 event log (flag -f12rows; default 4M, rounded
+// up to whole 64K-row segments so every segment seals and spills).
+// f12CacheMB is the segment-cache byte budget in MiB; 0 sizes it at an
+// eighth of the segment footprint, keeping the dataset >= 4x budget.
+var (
+	f12Rows    int
+	f12CacheMB int
+)
+
+// expF12 measures the larger-than-memory path: sealed segments
+// serialized to disk, a byte-budgeted read-through cache in front of
+// them, and zone maps that stay resident across eviction. Cold runs
+// (everything evicted) fault payloads back through the cache; the
+// fully resident uncompressed layout is the baseline every cold result
+// must match row for row. Bars, enforced here and inside
+// MeasureColdScan: the dataset is at least 4x the cache budget; cold
+// read-through results are row-for-row identical to resident
+// execution; at par 1 the selective window query skips evicted
+// segments on zone maps alone (disk faults == segments decoded, with
+// a nonzero skip count).
+func expF12() error {
+	n := f12Rows
+	if r := n % store.DefaultSegmentRows; r != 0 {
+		n += store.DefaultSegmentRows - r
+	}
+	if n < 4*store.DefaultSegmentRows {
+		n = 4 * store.DefaultSegmentRows
+	}
+	header("F12", fmt.Sprintf("larger-than-memory cold scans, %d-row event log (GOMAXPROCS=%d)",
+		n, runtime.GOMAXPROCS(0)))
+	db := dataset.Events(n)
+
+	// Size the budget from the actual segment footprint so the 4x bar
+	// holds at any -f12rows, then enable spill; the next Segments()
+	// pass funnels every sealed segment into the cache.
+	segBytes := int64(db.Table("events").Snap().Segments().Bytes())
+	budget := int64(f12CacheMB) << 20
+	if budget <= 0 {
+		budget = segBytes / 8
+	}
+	if segBytes < 4*budget {
+		return fmt.Errorf("F12: segment footprint %d B under 4x the %d B cache budget — not larger than memory", segBytes, budget)
+	}
+	dir, err := os.MkdirTemp("", "nlibench-f12-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := db.EnableSpill(dir, budget); err != nil {
+		return err
+	}
+	_ = db.Table("events").Snap().Segments() // adoption: spill sealed segments
+	c := db.SegCache()
+	st := c.Stats()
+	fmt.Printf("%-38s %12d (%.2f B/row)\n", "segment footprint bytes", segBytes, float64(segBytes)/float64(n))
+	fmt.Printf("%-38s %12d (dataset/budget %.1fx)\n", "cache budget bytes", budget, float64(segBytes)/float64(budget))
+	fmt.Printf("%-38s %12d (%d bytes, %d errors)\n", "segments spilled", st.SpilledSegs, st.SpilledBytes, st.SpillErrs)
+	fmt.Printf("%-38s %12d of %12d budget resident after adoption\n", "bytes", st.Used, st.Budget)
+
+	span := int64(n / 8)
+	tsAt := func(frac float64) int64 { return 1_700_000_000 + int64(frac*float64(span)) }
+	queries := []struct{ name, query string }{
+		{"full-scan agg", "SELECT COUNT(*), AVG(latency_ms) FROM events"},
+		{"ts window ~2% count", fmt.Sprintf(
+			"SELECT COUNT(*) FROM events WHERE ts BETWEEN %d AND %d", tsAt(0.49), tsAt(0.51))},
+		{"errors by service", "SELECT service, COUNT(*) FROM events WHERE level = 'error' GROUP BY service ORDER BY service"},
+	}
+	fmt.Printf("\n%-22s %4s %11s %11s %11s %9s %8s %9s %8s %14s %6s\n",
+		"query", "par", "cold", "warm", "resident", "penalty", "faults", "fault MB", "warm hit", "cold rows/s", "out")
+	reps := 3
+	var windowSerial bench.ColdScan
+	for _, q := range queries {
+		for _, par := range []int{1, 4} {
+			cs, err := bench.MeasureColdScan(db, "events", q.name, q.query, par, reps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s %4d %11s %11s %11s %8.2fx %8d %9.1f %8s %14.0f %6d\n",
+				cs.Name, cs.Par, cs.Cold, cs.Warm, cs.Resident, cs.ColdPenalty(),
+				cs.ColdMiss, cs.ColdMB, pct(cs.WarmHit), cs.ColdRowsPerSec(), cs.OutRows)
+			if q.name == "ts window ~2% count" && par == 1 {
+				windowSerial = cs
+			}
+		}
+	}
+	if windowSerial.Skipped == 0 {
+		return fmt.Errorf("F12: the selective window query skipped no segments — zone maps must prune evicted segments")
+	}
+	if windowSerial.ColdMiss >= windowSerial.Skipped+windowSerial.Scanned {
+		return fmt.Errorf("F12: cold window query faulted %d segments with only %d decoded — pruning saved no I/O",
+			windowSerial.ColdMiss, windowSerial.Scanned)
+	}
+	fmt.Printf("\nbars: dataset %.1fx cache budget; cold results row-for-row identical to resident execution;\n"+
+		"window scan faulted %d of %d segments (zone maps pruned %d without disk I/O)\n",
+		float64(segBytes)/float64(budget), windowSerial.ColdMiss,
+		windowSerial.Scanned+windowSerial.Skipped, windowSerial.Skipped)
 	return nil
 }

@@ -9,6 +9,12 @@
 //
 //	nliserver [-addr :8080] [-dataset university] [-scale 4]
 //	          [-deadline 2s] [-session-ttl 15m] [-drain 5s]
+//	          [-spill-dir /var/lib/nli/segments] [-cache 256]
+//
+// With -spill-dir set, sealed columnar segments are serialized to disk
+// and a byte-budgeted read-through cache (-cache, MiB) bounds resident
+// segment memory; zone maps stay resident so selective scans prune
+// evicted segments without I/O (DESIGN.md § 2.12).
 //
 // Endpoints:
 //
@@ -47,12 +53,18 @@ func run() error {
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session eviction TTL")
 	maxSessions := flag.Int("max-sessions", 4096, "live session bound (LRU eviction past it)")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain deadline before stragglers are canceled")
+	spillDir := flag.String("spill-dir", "", "directory for on-disk segment spill (empty = fully in-memory)")
+	cacheMB := flag.Int64("cache", 256, "segment-cache byte budget in MiB when -spill-dir is set")
 	flag.Parse()
 
-	eng, err := nli.Open(*datasetName, *scale)
+	db, err := nli.Dataset(*datasetName, *scale)
 	if err != nil {
 		return err
 	}
+	opts := nli.DefaultOptions()
+	opts.SpillDir = *spillDir
+	opts.SegCacheBytes = *cacheMB << 20
+	eng := nli.New(db, opts)
 	srv := serve.New(eng, serve.Config{
 		DefaultDeadline: *deadline,
 		SessionTTL:      *sessionTTL,

@@ -85,7 +85,7 @@ func MeasureSegFootprint(db *store.DB, table string) SegFootprint {
 		if seg.Sealed {
 			sealed++
 		}
-		for _, c := range seg.Cols {
+		for _, c := range seg.MustCols() {
 			f.EncodingCount[c.Enc.String()]++
 		}
 	}

@@ -59,6 +59,15 @@ type Options struct {
 	// negative disables the cap.
 	AnswerCacheMaxRows  int
 	AnswerCacheMaxBytes int
+
+	// SpillDir, when non-empty, enables larger-than-memory operation:
+	// sealed segments are serialized write-once into this directory and
+	// the segment cache evicts decoded payloads (zone maps stay
+	// resident) once they exceed SegCacheBytes
+	// (store.DefaultSegCacheBytes when 0). Empty keeps the store fully
+	// in memory.
+	SpillDir      string
+	SegCacheBytes int64
 }
 
 // DefaultOptions enables everything with spelling correction at
@@ -134,6 +143,14 @@ type Engine struct {
 func NewEngine(db *store.DB, opts Options) *Engine {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.SpillDir != "" {
+		if err := db.EnableSpill(opts.SpillDir, opts.SegCacheBytes); err != nil {
+			// Engine construction has no error path; a spill directory
+			// that cannot be created is a deployment misconfiguration,
+			// not a runtime condition to degrade around.
+			panic(fmt.Sprintf("core: enabling segment spill: %v", err))
+		}
 	}
 	idx := semindex.Build(db, opts.Index)
 	e := &Engine{

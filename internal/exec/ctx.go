@@ -42,9 +42,19 @@ func RunBoundAtCtx(ctx context.Context, sn *store.Snapshot, p *plan.Plan, params
 	return ex.run(p, nil)
 }
 
-// arm points the executor's cancellation signal at ctx. Background and
-// TODO contexts have a nil Done channel, so unserved paths keep the
-// zero-overhead nil signal.
+// arm points the executor's cancellation signal at ctx. The contract,
+// relied on by every entry point above and pinned by TestArmSignal:
+//
+//   - context.Background(), context.TODO(), and any other context whose
+//     Done() returns nil keep the executor's signal nil — the unserved
+//     paths (tests, benchmarks, nlibench, the context-free APIs) pay
+//     zero cancellation overhead, because plan's checkpoint wrappers
+//     (ctxIter/ctxViter) return iterators unchanged when Done is nil;
+//   - any context with a Done channel — cancelable, deadline-bearing,
+//     or derived from one — always arms the executor, so every
+//     iterator checkpoint, exchange morsel claim and segment fault-in
+//     wait observes it. This holds identically through the prepared
+//     RunBoundAtCtx path; arming is unconditional on the entry point.
 func (ex *executor) arm(ctx context.Context) {
 	if ctx == nil {
 		return

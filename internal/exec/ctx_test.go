@@ -84,6 +84,29 @@ func TestRunBoundAtCtxParCapMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunBoundAtCtxArmsCancellation: the prepared/bound entry point —
+// the one the serving layer actually calls — arms the executor exactly
+// like RunAtCtx: an already-dead context aborts before iterator work
+// with the context's cause, at full degree and under the serial
+// load-shed cap alike.
+func TestRunBoundAtCtxArmsCancellation(t *testing.T) {
+	db := dataset.University(1)
+	stmt := sql.MustParse(heavyStmt)
+	sn := db.Snapshot()
+	p, err := exec.BuildPlanParallelAt(sn, stmt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("request abandoned (bound)")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	for _, par := range []int{0, 1} {
+		if _, err := exec.RunBoundAtCtx(ctx, sn, p, nil, par); !errors.Is(err, cause) {
+			t.Errorf("par=%d: pre-canceled bound run returned %v, want cause %v", par, err, cause)
+		}
+	}
+}
+
 // TestRunAtCtxCancelMidFlight: cancelling an in-flight parallel query
 // returns promptly with the context's cause and leaks no exchange
 // workers — the goroutine count settles back to its pre-run level.

@@ -297,11 +297,11 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 	ss := tab.Segments()
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
 		if mr.ids != nil {
-			return segGatherBatches(ss, s.B, mr.ids), nil
+			return segGatherBatches(ctx, ss, s.B, mr.ids), nil
 		}
-		return segScanBatches(ss, s.B, mr.lo, mr.hi, preds, skipAll, ctx.SegC), nil
+		return segScanBatches(ctx, ss, s.B, mr.lo, mr.hi, preds, skipAll), nil
 	}
-	return segScanBatches(ss, s.B, 0, ss.N, preds, skipAll, ctx.SegC), nil
+	return segScanBatches(ctx, ss, s.B, 0, ss.N, preds, skipAll), nil
 }
 
 func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
@@ -322,13 +322,29 @@ func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
 	}
 	ss := tab.Segments()
 	if mr := ctx.part; mr != nil && mr.node == Node(s) {
-		return segGatherBatches(ss, s.B, mr.ids), nil
+		return segGatherBatches(ctx, ss, s.B, mr.ids), nil
 	}
 	ids, err := s.lookupIDs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return segGatherBatches(ss, s.B, ids), nil
+	return segGatherBatches(ctx, ss, s.B, ids), nil
+}
+
+// segFault resolves a segment's decoded columns through Segment.Cols,
+// faulting an evicted payload in from the segment cache. The run's
+// Done channel covers the fault-in wait, so a canceled request
+// abandons the disk read queue like any other checkpoint — the
+// cancellation cause wins over the cache's sentinel error.
+func segFault(ctx *Ctx, seg *store.Segment) ([]*store.SegCol, error) {
+	cols, err := seg.Cols(ctx.Done)
+	if err != nil {
+		if cerr := ctx.canceled(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	return cols, nil
 }
 
 // segScanBatches iterates rows [lo, hi) of the segment layout as
@@ -338,18 +354,22 @@ func (s *IndexScan) vopen(ctx *Ctx) (viter, error) {
 // too). Plain/float/bool/string payloads and dictionary codes are
 // zero-copy views; RLE- and FOR-encoded ints decode into fresh slices
 // per batch, never a shared scratch — Exchange workers retain batches.
-func segScanBatches(ss *store.SegSet, b Binding, lo, hi int, preds []boundZone, skipAll bool, sc *store.SegCounters) viter {
+func segScanBatches(ctx *Ctx, ss *store.SegSet, b Binding, lo, hi int, preds []boundZone, skipAll bool) viter {
+	sc := ctx.SegC
 	pos := lo
 	si := -1
 	segEnd := 0
-	var seg *store.Segment
+	var segCols []*store.SegCol
 	return func() (*vbatch, error) {
 		for pos < hi {
 			if si < 0 || pos >= segEnd {
 				nsi, _ := ss.Locate(pos)
 				si = nsi
-				seg = ss.Segs[si]
+				seg := ss.Segs[si]
 				segEnd = ss.Start[si] + seg.N
+				// The skip decision reads only the always-resident zone
+				// maps; an evicted segment that skips is pruned without
+				// faulting its payload back in.
 				if skipAll || skipSegment(seg, preds) {
 					if sc != nil {
 						sc.Skipped.Add(1)
@@ -358,11 +378,15 @@ func segScanBatches(ss *store.SegSet, b Binding, lo, hi int, preds []boundZone, 
 					si = -1
 					continue
 				}
+				var err error
+				if segCols, err = segFault(ctx, seg); err != nil {
+					return nil, err
+				}
 				if sc != nil {
 					sc.Scanned.Add(1)
 				}
 			}
-			segStart := segEnd - seg.N
+			segStart := ss.Start[si]
 			wlo := pos - segStart
 			whi := min(segEnd, hi) - segStart
 			if whi-wlo > maxBatch {
@@ -370,7 +394,7 @@ func segScanBatches(ss *store.SegSet, b Binding, lo, hi int, preds []boundZone, 
 			}
 			out := &vbatch{n: whi - wlo, cols: make([]vcol, len(b.Cols))}
 			for c, ci := range b.Cols {
-				out.cols[c] = segWindowCol(seg.Cols[ci], wlo, whi)
+				out.cols[c] = segWindowCol(segCols[ci], wlo, whi)
 			}
 			pos = segStart + whi
 			return out, nil
@@ -407,8 +431,12 @@ func segWindowCol(sc *store.SegCol, lo, hi int) vcol {
 
 // segGatherBatches materializes the given row ids from the segment
 // layout into dense batches — the index-scan and morsel-over-ids form.
-func segGatherBatches(ss *store.SegSet, b Binding, ids []int) viter {
+func segGatherBatches(ctx *Ctx, ss *store.SegSet, b Binding, ids []int) viter {
 	pos := 0
+	// Gathers hop between segments by row id; memoize the last faulted
+	// segment so runs of ids inside one segment fault it once.
+	lastSi := -1
+	var lastCols []*store.SegCol
 	return func() (*vbatch, error) {
 		if pos >= len(ids) {
 			return nil, nil
@@ -420,7 +448,14 @@ func segGatherBatches(ss *store.SegSet, b Binding, ids []int) viter {
 			cb := newColbuf(store.KindOfColType(b.Meta.Columns[ci].Type))
 			for _, id := range chunk {
 				si, off := ss.Locate(id)
-				cb.pushSegCol(ss.Segs[si].Cols[ci], off)
+				if si != lastSi {
+					cols, err := segFault(ctx, ss.Segs[si])
+					if err != nil {
+						return nil, err
+					}
+					lastSi, lastCols = si, cols
+				}
+				cb.pushSegCol(lastCols[ci], off)
 			}
 			out.cols[c] = cb.col()
 		}

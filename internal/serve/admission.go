@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -158,6 +159,57 @@ type admission struct {
 	full     int64 // units of a full-degree ask (the engine's Parallelism)
 	maxWait  time.Duration
 	maxQueue int
+
+	// waitEWMA tracks the observed admission queue wait (nanoseconds,
+	// exponentially weighted, α = 1/8): every request that actually
+	// queued folds its wait in — including rejected ones, which waited
+	// the full bound. Retry-After on a 429 derives from it, so backoff
+	// advice follows the queue the clients are actually experiencing
+	// instead of a hardcoded constant.
+	waitEWMA atomic.Int64
+}
+
+// recordWait folds one observed queue wait into the EWMA.
+func (a *admission) recordWait(d time.Duration) {
+	for {
+		old := a.waitEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if a.waitEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterBounds clamp the advised backoff: at least 1s (the header
+// is whole seconds and zero means "retry immediately", which defeats
+// backpressure), at most 30s (past that the advice is stale anyway —
+// load spikes drain faster than that or the operator has bigger
+// problems).
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// retryAfter estimates, in whole seconds, when a just-rejected client
+// plausibly admits: the wait bound it exhausted (or would have, for a
+// full-queue rejection) plus the queue wait requests are currently
+// observing, rounded up and clamped. Monotone in both inputs, so
+// heavier observed queueing yields proportionally later retries.
+func (a *admission) retryAfter() int {
+	est := a.maxWait + time.Duration(a.waitEWMA.Load())
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
 }
 
 // ticket is an admitted request's claim on execution capacity.
@@ -184,7 +236,12 @@ func (a *admission) admit(ctx context.Context) (*ticket, error) {
 	}
 	start := time.Now()
 	if err := a.sem.acquire(ctx, 1, a.maxWait, a.maxQueue); err != nil {
+		if errors.Is(err, errQueueWait) {
+			a.recordWait(time.Since(start)) // waited the full bound, then lost
+		}
 		return nil, err
 	}
-	return &ticket{adm: a, units: 1, degraded: true, queue: time.Since(start)}, nil
+	wait := time.Since(start)
+	a.recordWait(wait)
+	return &ticket{adm: a, units: 1, degraded: true, queue: wait}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -312,10 +313,16 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeTooBusy is the 429 path: the Retry-After advice is derived from
+// the admission queue's wait bound and the queue waits requests are
+// currently observing (see admission.retryAfter), not a hardcoded
+// constant — clients back off proportionally to the actual congestion.
+func (s *Server) writeTooBusy(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfter()))
+	writeError(w, http.StatusTooManyRequests, err)
 }
 
 // maxBody bounds a request body: questions are sentences, not
@@ -324,7 +331,16 @@ const maxBody = 1 << 16
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*askRequest, bool) {
 	var req askRequest
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	// Read one byte past the bound so an oversized body is
+	// distinguishable from one that exactly fits: a bare
+	// LimitReader(maxBody) would silently truncate and surface as a
+	// baffling JSON syntax error instead of the real problem.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err == nil && len(body) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: request body exceeds %d bytes", maxBody))
+		return nil, false
+	}
 	if err == nil {
 		err = json.Unmarshal(body, &req)
 	}
@@ -426,7 +442,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull) || errors.Is(err, errQueueWait):
-			writeError(w, http.StatusTooManyRequests, err)
+			s.writeTooBusy(w, err)
 		default:
 			writeError(w, statusOf(ctx, err), err)
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -266,12 +267,92 @@ func TestOverloadRejectsWith429(t *testing.T) {
 	t.Logf("overload: %d served, %d rejected", ok, rejected)
 }
 
-// TestRetryAfterHeader: 429 responses carry Retry-After.
+// TestRetryAfterHeader: a real 429 from the handler carries a
+// Retry-After derived from the admission queue's wait bound — at least
+// the 1-second floor, and consistent with retryAfter()'s estimate.
 func TestRetryAfterHeader(t *testing.T) {
-	w := httptest.NewRecorder()
-	writeError(w, http.StatusTooManyRequests, errQueueFull)
-	if w.Header().Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	s := newTestServer(t, Config{MaxQueueWait: time.Millisecond, MaxQueue: -1})
+	release, err := s.Saturate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	w := post(s, "/api/ask", `{"question": "how many students"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", w.Code, w.Body)
+	}
+	got := w.Header().Get("Retry-After")
+	if got == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	secs, err := strconv.Atoi(got)
+	if err != nil || secs < minRetryAfter || secs > maxRetryAfter {
+		t.Errorf("Retry-After = %q, want integer seconds in [%d, %d]",
+			got, minRetryAfter, maxRetryAfter)
+	}
+	if want := s.adm.retryAfter(); secs != want {
+		t.Errorf("Retry-After = %d, want the admission-derived %d", secs, want)
+	}
+}
+
+// TestRetryAfterProportional: the advice grows with the configured
+// wait bound and with the queue waits requests actually observed — the
+// derivation, not a constant.
+func TestRetryAfterProportional(t *testing.T) {
+	a := &admission{maxWait: 100 * time.Millisecond}
+	if got := a.retryAfter(); got != 1 {
+		t.Errorf("idle queue: Retry-After = %d, want the 1s floor", got)
+	}
+
+	// Requests have been observing multi-second queue waits: the
+	// estimate follows them upward.
+	a.recordWait(5 * time.Second)
+	slow := a.retryAfter()
+	if slow < 5 {
+		t.Errorf("after 5s observed waits: Retry-After = %d, want >= 5", slow)
+	}
+
+	// A larger wait bound alone also raises the advice.
+	b := &admission{maxWait: 3 * time.Second}
+	if got := b.retryAfter(); got < 3 {
+		t.Errorf("3s wait bound: Retry-After = %d, want >= 3", got)
+	}
+
+	// The clamp keeps pathological estimates bounded.
+	c := &admission{maxWait: time.Minute}
+	c.recordWait(10 * time.Minute)
+	if got := c.retryAfter(); got != maxRetryAfter {
+		t.Errorf("pathological queue: Retry-After = %d, want the %d cap", got, maxRetryAfter)
+	}
+}
+
+// TestOversizedBodyIs413: a body past maxBody is rejected up front
+// with 413 and a message naming the bound — not silently truncated
+// into a confusing 400 JSON parse error.
+func TestOversizedBodyIs413(t *testing.T) {
+	s := newTestServer(t, Config{})
+	big := fmt.Sprintf(`{"question": %q}`, strings.Repeat("x", maxBody))
+	w := post(s, "/api/ask", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %.120s)", w.Code, w.Body.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	msg, _ := m["error"].(string)
+	if !strings.Contains(msg, "exceeds") {
+		t.Errorf("413 error %q does not explain the size bound", msg)
+	}
+
+	// A body that exactly fits the bound is still parsed normally.
+	exact := fmt.Sprintf(`{"question": "how many students%s"}`, strings.Repeat(" ", maxBody-33))
+	if len(exact) != maxBody {
+		t.Fatalf("fixture sizing: %d != %d", len(exact), maxBody)
+	}
+	if w := post(s, "/api/ask", exact); w.Code == http.StatusRequestEntityTooLarge {
+		t.Errorf("exact-size body rejected with 413 (body %.120s)", w.Body.String())
 	}
 }
 

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"repro/internal/schema"
@@ -245,20 +246,94 @@ func (c *SegCol) Bytes() int {
 // and zone maps. Sealed segments never change and are shared by
 // pointer across table versions; the single unsealed tail segment is
 // rebuilt (plain-encoded) on each publish.
+//
+// The struct splits into an always-resident identity — row count,
+// seal flag and per-column zone maps — and a faultable payload (the
+// encoded columns). On a memory-only store the payload never leaves;
+// under a spill-enabled store (DB.EnableSpill) sealed segments are
+// serialized write-once to disk and the segment cache may drop the
+// payload under byte-budget pressure, leaving the zone maps behind so
+// the planner's skip predicates keep pruning without I/O. Readers go
+// through Cols, which faults an evicted payload back in through the
+// cache.
 type Segment struct {
 	N      int
 	Sealed bool
-	Cols   []*SegCol
+
+	// Zones holds one zone map per column. It is populated at encode
+	// time and never evicted: segment skipping must stay a pure
+	// in-memory test whatever the cache does to the payload.
+	Zones []ZoneMap
+
+	bytes int                       // payload footprint, fixed at encode time
+	ref   atomic.Bool               // CLOCK reference bit (second chance)
+	src   atomic.Pointer[segSrc]    // spill identity; nil until adopted
+	pay   atomic.Pointer[[]*SegCol] // decoded columns; nil when evicted
 }
 
-// Bytes is the resident data footprint of the segment.
-func (s *Segment) Bytes() int {
-	b := 0
-	for _, c := range s.Cols {
-		b += c.Bytes()
-	}
-	return b
+// segSrc is the spill identity of an adopted segment: the cache that
+// owns its on-disk copy and the file id within it. Set once at
+// adoption, before the payload can ever be evicted.
+type segSrc struct {
+	id uint64
+	c  *SegCache
 }
+
+// newSegment wraps freshly encoded columns into a resident segment.
+func newSegment(cols []*SegCol, n int, sealed bool) *Segment {
+	s := &Segment{N: n, Sealed: sealed, Zones: make([]ZoneMap, len(cols))}
+	for i, c := range cols {
+		s.Zones[i] = c.Zone
+		s.bytes += c.Bytes()
+	}
+	s.pay.Store(&cols)
+	return s
+}
+
+// Cols returns the segment's decoded columns, faulting them in through
+// the segment cache when the payload was evicted. done, when non-nil,
+// aborts a fault-in wait (the cancellation signal of the serving run);
+// a nil done waits indefinitely. The returned columns are immutable
+// and stay valid however the cache evicts afterwards — eviction only
+// drops the cache's reference, never the data under a reader.
+func (s *Segment) Cols(done <-chan struct{}) ([]*SegCol, error) {
+	if p := s.pay.Load(); p != nil {
+		if sp := s.src.Load(); sp != nil {
+			s.ref.Store(true)
+			sp.c.hits.Add(1)
+		}
+		return *p, nil
+	}
+	sp := s.src.Load()
+	if sp == nil {
+		return nil, errors.New("store: segment payload missing and no segment cache to fault from")
+	}
+	return sp.c.fault(s, sp, done)
+}
+
+// MustCols is Cols without a cancellation signal, panicking on fault
+// failure — for tests, benchmarks and footprint accounting over sets
+// that are memory-only or known readable.
+func (s *Segment) MustCols() []*SegCol {
+	cols, err := s.Cols(nil)
+	if err != nil {
+		panic(err)
+	}
+	return cols
+}
+
+// Resident returns the decoded columns when resident, nil when
+// evicted. It never faults and never counts a cache touch.
+func (s *Segment) Resident() []*SegCol {
+	if p := s.pay.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Bytes is the data footprint of the segment's encoded payload,
+// whether or not it is currently resident.
+func (s *Segment) Bytes() int { return s.bytes }
 
 // SegSet is the segment layout of one table version: sealed segments
 // in row order, then at most one unsealed plain tail. Start[i] is the
@@ -350,11 +425,11 @@ func composeSegs(meta *schema.Table, rows []Row, sealed []*Segment, sealedRows, 
 // pick a compressed encoding per column where it pays; the mutable
 // tail stays plain (it is rebuilt on every publish).
 func encodeSegment(meta *schema.Table, rows []Row, lo, hi int, sealed bool) *Segment {
-	seg := &Segment{N: hi - lo, Sealed: sealed, Cols: make([]*SegCol, len(meta.Columns))}
+	cols := make([]*SegCol, len(meta.Columns))
 	for ci, mc := range meta.Columns {
-		seg.Cols[ci] = encodeSegCol(KindOfColType(mc.Type), rows, ci, lo, hi, sealed)
+		cols[ci] = encodeSegCol(KindOfColType(mc.Type), rows, ci, lo, hi, sealed)
 	}
-	return seg
+	return newSegment(cols, hi-lo, sealed)
 }
 
 func encodeSegCol(kind Kind, rows []Row, ci, lo, hi int, sealed bool) *SegCol {

@@ -133,7 +133,7 @@ func checkSegSet(t *testing.T, s *TableSnap, ctx string) {
 		if !seg.Sealed && si != len(ss.Segs)-1 {
 			t.Fatalf("%s: unsealed segment %d is not the tail", ctx, si)
 		}
-		for ci, sc := range seg.Cols {
+		for ci, sc := range seg.MustCols() {
 			if sc.N != seg.N {
 				t.Fatalf("%s: segment %d col %d N=%d, want %d", ctx, si, ci, sc.N, seg.N)
 			}
@@ -255,7 +255,7 @@ func TestSegmentEncodingSelection(t *testing.T) {
 			if len(ss.Segs) != 1 || !ss.Segs[0].Sealed {
 				t.Fatalf("want 1 sealed segment, got %d", len(ss.Segs))
 			}
-			if got := ss.Segs[0].Cols[0].Enc; got != tc.want {
+			if got := ss.Segs[0].MustCols()[0].Enc; got != tc.want {
 				t.Fatalf("encoding = %s, want %s", got, tc.want)
 			}
 		})
@@ -279,7 +279,7 @@ func TestSegmentNullExtremes(t *testing.T) {
 			noNull[i] = Row{Int(int64(i % 3)), Text("x"), Float(1.5)}
 		}
 		ss := buildSegments(meta, allNull, n)
-		for ci, sc := range ss.Segs[0].Cols {
+		for ci, sc := range ss.Segs[0].MustCols() {
 			if !sc.Zone.AllNull() {
 				t.Fatalf("n=%d col %d: AllNull()=false for all-null segment", n, ci)
 			}
@@ -293,7 +293,7 @@ func TestSegmentNullExtremes(t *testing.T) {
 			}
 		}
 		ss = buildSegments(meta, noNull, n)
-		for ci, sc := range ss.Segs[0].Cols {
+		for ci, sc := range ss.Segs[0].MustCols() {
 			if sc.Zone.Nulls != 0 || sc.Nuls != nil {
 				t.Fatalf("n=%d col %d: spurious nulls in no-null segment", n, ci)
 			}
@@ -310,7 +310,7 @@ func TestSegmentNaNZone(t *testing.T) {
 	meta := &schema.Table{Name: "t", Columns: []schema.Column{{Name: "f", Type: schema.Float}}}
 	rows := []Row{{Float(1)}, {Float(math.NaN())}, {Float(3)}}
 	ss := buildSegments(meta, rows, 3)
-	sc := ss.Segs[0].Cols[0]
+	sc := ss.Segs[0].MustCols()[0]
 	if !sc.Zone.Min.IsNull() || !sc.Zone.Max.IsNull() {
 		t.Fatalf("NaN segment published a zone range: [%v,%v]", sc.Zone.Min, sc.Zone.Max)
 	}
@@ -344,7 +344,7 @@ func TestSegmentFORBoundaries(t *testing.T) {
 				rows[i] = Row{Int(v)}
 			}
 			ss := buildSegments(meta, rows, len(rows))
-			sc := ss.Segs[0].Cols[0]
+			sc := ss.Segs[0].MustCols()[0]
 			if sc.Enc != tc.want {
 				t.Fatalf("encoding = %s, want %s", sc.Enc, tc.want)
 			}

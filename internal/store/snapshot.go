@@ -68,11 +68,12 @@ type TableSnap struct {
 	Meta   *schema.Table
 	colIdx map[string]int
 	d      *tableData
+	spill  *SegCache // segment cache adopting sealed segments, or nil
 }
 
 // Snap pins the table's current version.
 func (t *Table) Snap() *TableSnap {
-	return &TableSnap{Meta: t.Meta, colIdx: t.colIdx, d: t.data.Load()}
+	return &TableSnap{Meta: t.Meta, colIdx: t.colIdx, d: t.data.Load(), spill: t.spill.Load()}
 }
 
 // Version returns the data version this snapshot was pinned at.
@@ -215,6 +216,14 @@ func (s *TableSnap) Segments() *SegSet {
 	defer c.segsMu.Unlock()
 	if c.segs == nil {
 		c.segs = buildSegments(s.Meta, s.d.rows, s.d.segRows)
+	}
+	// Under a spill-enabled store, hand any not-yet-adopted sealed
+	// segments to the segment cache (write-once serialization + byte
+	// budget). Adoption is idempotent per segment, so covering both the
+	// fresh-build and extendSegs paths here — the one funnel every
+	// reader passes through — keeps the write path untouched.
+	if s.spill != nil {
+		s.spill.adopt(c.segs)
 	}
 	return c.segs
 }

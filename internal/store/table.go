@@ -22,6 +22,11 @@ type Table struct {
 
 	wmu  sync.Mutex                // serializes writers to this table
 	data atomic.Pointer[tableData] // current published version
+
+	// spill, when set (DB.EnableSpill), is the segment cache that
+	// adopts this table's sealed segments: serialized write-once to
+	// disk, payload evictable under the cache's byte budget.
+	spill atomic.Pointer[SegCache]
 }
 
 // NewTable creates an empty table for the given schema table.
@@ -269,7 +274,35 @@ func errNoColumn(t *Table, col string) error {
 type DB struct {
 	Schema *schema.Schema
 	tables map[string]*Table
+	spill  atomic.Pointer[SegCache]
 }
+
+// EnableSpill turns memory into a cache: sealed segments of every
+// table are adopted by a segment cache that serializes them write-once
+// into dir and evicts decoded payloads (keeping zone maps resident)
+// when their total bytes exceed budget (DefaultSegCacheBytes when
+// budget <= 0). Idempotent — the first successful call wins and later
+// calls are no-ops, so layered setup code can enable it defensively.
+func (db *DB) EnableSpill(dir string, budget int64) error {
+	if db.spill.Load() != nil {
+		return nil
+	}
+	c, err := NewSegCache(dir, budget)
+	if err != nil {
+		return err
+	}
+	if !db.spill.CompareAndSwap(nil, c) {
+		return nil // lost the race to an earlier enable
+	}
+	for _, t := range db.tables {
+		t.spill.Store(c)
+	}
+	return nil
+}
+
+// SegCache returns the database's segment cache, or nil when spilling
+// was never enabled.
+func (db *DB) SegCache() *SegCache { return db.spill.Load() }
 
 // NewDB creates a database with one empty table per schema table.
 func NewDB(s *schema.Schema) *DB {
