@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|F10|F11|F12|all]
+//	nlibench [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|F4|F5|F6|F7|F8|F9|F10|F11|F12|F13|all]
 package main
 
 import (
@@ -27,13 +27,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F12) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (T1..T6, F1..F13) or 'all'")
 	flag.IntVar(&f11Rows, "f11rows", 10_000_000, "event-log rows for experiment F11")
 	flag.IntVar(&f12Rows, "f12rows", 4_194_304, "event-log rows for experiment F12 (rounded up to whole 64K segments)")
 	flag.IntVar(&f12CacheMB, "f12cache", 0, "segment-cache budget in MiB for F12 (0 = dataset/8, keeping the 4x larger-than-memory bar)")
 	flag.StringVar(&f10Sessions, "f10sessions", "1,64,1024", "comma-separated concurrent session counts for experiment F10")
 	flag.IntVar(&f10Asks, "f10asks", 32, "asks per session for experiment F10")
 	flag.DurationVar(&f10Deadline, "f10deadline", time.Second, "per-request deadline (the F10 latency bar)")
+	flag.IntVar(&f13Rows, "f13rows", 1_048_576, "telemetry event rows for experiment F13")
 	flag.Parse()
 
 	experiments := map[string]func() error{
@@ -42,8 +43,9 @@ func main() {
 		"F1": expF1, "F2": expF2, "F3": expF3, "F4": expF4,
 		"F5": expF5, "F6": expF6, "F7": expF7, "F8": expF8,
 		"F9": expF9, "F10": expF10, "F11": expF11, "F12": expF12,
+		"F13": expF13,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13"}
 
 	run := func(id string) {
 		f, ok := experiments[id]
@@ -73,6 +75,14 @@ func main() {
 		flag.Visit(func(f *flag.Flag) { f12Set = f12Set || f.Name == "f12rows" })
 		if !f12Set && f12Rows > 1_048_576 {
 			f12Rows = 1_048_576
+		}
+		// Same for F13: each timed load rebuilds and reloads the whole
+		// dataset, so the sweep keeps a log just big enough to exercise
+		// the structural bars.
+		f13Set := false
+		flag.Visit(func(f *flag.Flag) { f13Set = f13Set || f.Name == "f13rows" })
+		if !f13Set && f13Rows > 262_144 {
+			f13Rows = 262_144
 		}
 		// Same for F10: the standalone default includes a 1024-session
 		// scenario (~33K requests); the sweep keeps the bar-bearing 64
@@ -921,5 +931,139 @@ func expF12() error {
 		"window scan faulted %d of %d segments (zone maps pruned %d without disk I/O)\n",
 		float64(segBytes)/float64(budget), windowSerial.ColdMiss,
 		windowSerial.Scanned+windowSerial.Skipped, windowSerial.Skipped)
+	return nil
+}
+
+// f13Rows sizes the F13 telemetry event log (flag -f13rows).
+var f13Rows int
+
+// expF13: partitioned tables (DESIGN.md § 2.13). Three measurements
+// over the two-table telemetry domain: (1) the same row set bulk-
+// loaded by 8 concurrent loaders into a single-stream table versus the
+// table hash-partitioned on device_id — independent per-partition
+// writer locks let publishes overlap; (2) the FK join timed partition-
+// wise (co-partitioned per-partition build+probe) versus the shared-
+// build exchange over the unpartitioned layout, row-for-row checked;
+// (3) a ts predicate over a range-partitioned, spill-enabled log with
+// every segment evicted — partition pruning must come from resident
+// statistics alone, so pruned partitions fault zero bytes from disk.
+// Timing bars (>=3x parallel load at 8 partitions, >=1.5x partition-
+// wise join) need cores to spend and the full-size log; they are
+// enforced at >=1M rows with >=4 CPUs, while smoke runs still enforce
+// every structural bar plus a no-collapse floor on the factors.
+func expF13() error {
+	n := f13Rows
+	const parts, loaders = 8, 8
+	header("F13", fmt.Sprintf("partitioned tables, %d-row telemetry log, %d partitions (GOMAXPROCS=%d)",
+		n, parts, runtime.GOMAXPROCS(0)))
+	full := n >= 1_000_000 && runtime.GOMAXPROCS(0) >= 4
+
+	// -- parallel bulk loads --
+	rows := dataset.TelemetryEventRows(n)
+	newDB := func() *store.DB { return store.NewDB(dataset.TelemetrySchema()) }
+	fmt.Printf("\n%-14s %5s %7s %12s %12s %8s %14s\n",
+		"load", "parts", "loaders", "single-lock", "partitioned", "speedup", "rows/s")
+	var load8 bench.ParallelLoad
+	for _, p := range []int{2, parts} {
+		pl, err := bench.MeasureParallelLoad(newDB, "events", "device_id", rows, p, loaders, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %5d %7d %12s %12s %7.2fx %14.0f\n",
+			pl.Name, pl.Parts, pl.Loaders, pl.Single, pl.Parted, pl.Factor(), pl.RowsPerSec())
+		if p == parts {
+			load8 = pl
+		}
+	}
+	if full && load8.Factor() < 3 {
+		return fmt.Errorf("F13: parallel-load speedup %.2fx at %d partitions below the 3x bar", load8.Factor(), parts)
+	}
+	if load8.Factor() < 0.8 {
+		return fmt.Errorf("F13: partitioned load collapsed to %.2fx of the single-lock baseline", load8.Factor())
+	}
+
+	// -- partition-wise joins --
+	dbPart := dataset.Telemetry(n)
+	for _, t := range []string{"events", "devices"} {
+		if err := dbPart.PartitionTable(t, store.HashPartition("device_id", parts)); err != nil {
+			return err
+		}
+	}
+	dbFlat := dataset.Telemetry(n)
+	queries := []struct{ name, query string }{
+		{"levels via FK join", "SELECT level, COUNT(*) FROM events, devices " +
+			"WHERE events.device_id = devices.device_id GROUP BY level ORDER BY level"},
+		{"errors by region", "SELECT region, COUNT(*) FROM events, devices " +
+			"WHERE events.device_id = devices.device_id AND level = 'error' GROUP BY region ORDER BY region"},
+	}
+	fmt.Printf("\n%-20s %4s %12s %12s %8s %9s %7s\n",
+		"join", "par", "part-wise", "shared-bld", "speedup", "parts r/p", "out")
+	var joinFactor float64
+	for _, q := range queries {
+		for _, par := range []int{4, 8} {
+			pj, err := bench.MeasurePartitionJoin(dbPart, dbFlat, "events", q.name, q.query, par, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %4d %12s %12s %7.2fx %5d/%-3d %7d\n",
+				pj.Name, pj.Par, pj.Wise, pj.Shared, pj.Factor(), pj.Scanned, pj.Pruned, pj.OutRows)
+			if q.name == queries[0].name && par == 8 {
+				joinFactor = pj.Factor()
+			}
+		}
+	}
+	if full && joinFactor < 1.5 {
+		return fmt.Errorf("F13: partition-wise join speedup %.2fx below the 1.5x bar", joinFactor)
+	}
+	if joinFactor < 0.8 {
+		return fmt.Errorf("F13: partition-wise join collapsed to %.2fx of the shared-build baseline", joinFactor)
+	}
+
+	// -- partition pruning: zero segment I/O for pruned partitions --
+	// ts advances one tick every 8 rows; 7 ascending bounds carve the
+	// log into 8 ranges, and the probe keeps only the first.
+	span := int64(n / 8)
+	var bounds []store.Value
+	for i := 1; i < parts; i++ {
+		bounds = append(bounds, store.Int(1_700_000_000+int64(i)*span/parts))
+	}
+	dbRange := dataset.Telemetry(n)
+	if err := dbRange.PartitionTable("events", store.RangePartition("ts", bounds)); err != nil {
+		return err
+	}
+	// Segments seal per partition, so a smoke-sized log split 8 ways
+	// would never reach the default 64K boundary — shrink it so every
+	// partition holds sealed, spillable segments at any -f13rows.
+	dbRange.Table("events").SetSegmentRows(8192)
+	segBytes := int64(dbRange.Table("events").Snap().Segments().Bytes())
+	dir, err := os.MkdirTemp("", "nlibench-f13-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := dbRange.EnableSpill(dir, segBytes); err != nil {
+		return err
+	}
+	_ = dbRange.Table("events").Snap().Segments() // adoption: spill sealed segments
+	probe := fmt.Sprintf("SELECT COUNT(*), AVG(latency_ms) FROM events WHERE ts < %d", 1_700_000_000+span/parts)
+	pr, err := bench.MeasurePartitionPrune(dbRange, "events", "first-range count", probe, []int{0})
+	if err != nil {
+		return err
+	}
+	if pr.FaultIn == 0 {
+		return fmt.Errorf("F13: prune probe faulted nothing — the kept partition's segments never reached the spill cache")
+	}
+	fmt.Printf("\n%-20s %5s %7s %7s %12s %12s %7s\n",
+		"prune", "parts", "scanned", "pruned", "fault B", "kept seg B", "out")
+	fmt.Printf("%-20s %5d %7d %7d %12d %12d %7d\n",
+		pr.Name, pr.Parts, pr.Scanned, pr.Pruned, pr.FaultIn, pr.KeptBytes, pr.OutRows)
+
+	fmt.Printf("\nbars: partitioned results row-for-row identical to the flat layout; partition-wise plans engaged;\n"+
+		"prune probe read %d of %d partitions, faulting %d B against the kept partitions' %d B footprint\n",
+		pr.Scanned, pr.Parts, pr.FaultIn, pr.KeptBytes)
+	if full {
+		fmt.Printf("timing bars: parallel load %.2fx (>=3x), partition-wise join %.2fx (>=1.5x)\n",
+			load8.Factor(), joinFactor)
+	}
 	return nil
 }

@@ -48,6 +48,10 @@ type answerCache struct {
 	maxRows  int // per-entry result row cap; <= 0 means uncapped
 	maxBytes int // per-entry approximate result byte cap; <= 0 means uncapped
 	entries  map[string]*cacheEntry
+
+	// hits / misses count lookups under mu: a stale entry evicted on
+	// sight is a miss — the ask pays the full pipeline either way.
+	hits, misses uint64
 }
 
 func newAnswerCache(size, maxRows, maxBytes int) *answerCache {
@@ -105,13 +109,23 @@ func (c *answerCache) lookup(key string, current func(table string) uint64) *Ans
 	defer c.mu.Unlock()
 	e := c.entries[key]
 	if e == nil {
+		c.misses++
 		return nil
 	}
 	if e.stale(current) {
 		delete(c.entries, key)
+		c.misses++
 		return nil
 	}
+	c.hits++
 	return e.ans
+}
+
+// stats returns the cumulative lookup hit/miss counters.
+func (c *answerCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // store records a successful answer with its dependency fingerprint.

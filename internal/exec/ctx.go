@@ -42,6 +42,22 @@ func RunBoundAtCtx(ctx context.Context, sn *store.Snapshot, p *plan.Plan, params
 	return ex.run(p, nil)
 }
 
+// RunBoundCountedAtCtx is RunBoundAtCtx with optional runtime counters:
+// segc accumulates segments decoded vs skipped, partc partitions read
+// vs pruned, across every scan of the run including parallel workers.
+// Either may be nil. This is the engine's ask path — the cumulative
+// numbers behind the serving layer's /api/stats.
+func RunBoundCountedAtCtx(ctx context.Context, sn *store.Snapshot, p *plan.Plan, params []store.Value, par int,
+	segc *store.SegCounters, partc *store.PartCounters) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.params = params
+	ex.par = par
+	ex.segC = segc
+	ex.partC = partc
+	ex.arm(ctx)
+	return ex.run(p, nil)
+}
+
 // arm points the executor's cancellation signal at ctx. The contract,
 // relied on by every entry point above and pinned by TestArmSignal:
 //

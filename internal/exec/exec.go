@@ -89,7 +89,7 @@ func BuildPlanParallelAt(sn *store.Snapshot, stmt *sql.SelectStmt, par int) (*pl
 	if err != nil {
 		return nil, err
 	}
-	return plan.Parallelize(p, par), nil
+	return plan.Parallelize(sn, p, par), nil
 }
 
 // Run executes a compiled plan against a fresh snapshot of db.
@@ -169,6 +169,15 @@ func RunCountedAt(sn *store.Snapshot, p *plan.Plan, c *store.SegCounters) (*Resu
 	return ex.run(p, nil)
 }
 
+// RunPartCountedAt is RunAt with runtime partition counters: c
+// accumulates partitions read vs partitions pruned by bound predicates
+// across every scan of the run, including parallel workers.
+func RunPartCountedAt(sn *store.Snapshot, p *plan.Plan, c *store.PartCounters) (*Result, error) {
+	ex := newExecutor(sn)
+	ex.partC = c
+	return ex.run(p, nil)
+}
+
 // subKey keys the subquery result cache by statement and correlation
 // status. Today only uncorrelated results are ever inserted (correlated
 // subqueries return before the cache, their result depending on the
@@ -201,6 +210,7 @@ type executor struct {
 	noVec     bool                     // force row-at-a-time execution (ablation)
 	noSeg     bool                     // scan column vectors, not segments (ablation)
 	segC      *store.SegCounters       // optional segment scan/skip counters
+	partC     *store.PartCounters      // optional partition scan/prune counters
 
 	// params is the parameter vector of a prepared execution: the
 	// values sql.Param slots evaluate to, shared by the outer plan and
@@ -235,8 +245,8 @@ func newExecutor(sn *store.Snapshot) *executor {
 
 func (ex *executor) run(p *plan.Plan, parent *plan.Frame) (*Result, error) {
 	rows, err := plan.Run(p, &plan.Ctx{Snap: ex.sn, Ev: ex, Parent: parent,
-		NoVec: ex.noVec, NoSeg: ex.noSeg, SegC: ex.segC, Params: ex.params,
-		Par: ex.par, Done: ex.done, Cause: ex.cause})
+		NoVec: ex.noVec, NoSeg: ex.noSeg, SegC: ex.segC, PartC: ex.partC,
+		Params: ex.params, Par: ex.par, Done: ex.done, Cause: ex.cause})
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,12 @@ type Ctx struct {
 	// run (including Exchange workers — the fields are atomic).
 	SegC *store.SegCounters
 
+	// PartC, when set, accumulates runtime partition counters: the
+	// partitions scans actually read vs the partitions pruned by bound
+	// predicates against partition statistics (atomic fields, shared by
+	// parallel workers like SegC).
+	PartC *store.PartCounters
+
 	// Done, when non-nil, is the cancellation signal of the request
 	// this run serves (a context's Done channel, threaded by exec).
 	// Iterator loops check it at batch granularity — see cancel.go —
@@ -61,6 +67,7 @@ type Ctx struct {
 	Cause func() error
 
 	part    *morselRun   // set inside an Exchange worker: the leaf's morsel
+	pw      *pwRun       // set inside a PartitionWise worker: the claimed partition
 	shared  *sharedState // per-run state shared across Exchange workers
 	scratch []byte       // reusable composite-key buffer; see keyScratch
 }
@@ -175,8 +182,21 @@ func (s *Scan) open(ctx *Ctx) (iter, error) {
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
-	rows := tab.Rows()
-	return ctxIter(ctx, projectRows(rows, s.B)), nil
+	// A partition-wise worker reads exactly its claimed partition's
+	// stream; otherwise bound predicates prune whole partitions before
+	// any row is touched.
+	if pw := ctx.pw; pw != nil {
+		if _, ok := pw.scans[s]; ok {
+			if ctx.PartC != nil {
+				ctx.PartC.Scanned.Add(1)
+			}
+			return ctxIter(ctx, projectRows(tab.Part(pw.pi).Rows(), s.B)), nil
+		}
+	}
+	if ranges := s.pruneParts(ctx, tab); ranges != nil {
+		return ctxIter(ctx, projectRowRanges(tab.Rows(), ranges, s.B)), nil
+	}
+	return ctxIter(ctx, projectRows(tab.Rows(), s.B)), nil
 }
 
 // probeVals resolves the scan's probe and bounds against the run's

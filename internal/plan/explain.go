@@ -12,19 +12,32 @@ import (
 // console's :explain command and the planner's golden tests.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	explainNode(&b, p.Root, "", "", 0)
+	explainNode(&b, p.Root, "", "", 0, false)
 	return strings.TrimRight(b.String(), "\n")
 }
 
 // explainNode renders one operator line. par is the degree of
 // parallelism the node executes under (0 outside any exchange): every
 // node below an Exchange is annotated with the worker count driving
-// it. Nodes that execute batch-at-a-time over column vectors carry
-// [vec]; a node without the mark falls back to the row iterator while
-// its vectorizable neighbors stay in batches.
-func explainNode(b *strings.Builder, n Node, prefix, childPrefix string, par int) {
+// it. pw marks nodes inside a PartitionWise subtree, whose hash joins
+// build per-partition; an Aggregate directly over a PartitionWise
+// merges per-partition states, so both carry [partition-wise]. Nodes
+// that execute batch-at-a-time over column vectors carry [vec]; a node
+// without the mark falls back to the row iterator while its
+// vectorizable neighbors stay in batches.
+func explainNode(b *strings.Builder, n Node, prefix, childPrefix string, par int, pw bool) {
 	b.WriteString(prefix)
 	b.WriteString(n.describe())
+	switch t := n.(type) {
+	case *HashJoin:
+		if pw {
+			b.WriteString(" [partition-wise]")
+		}
+	case *Aggregate:
+		if _, ok := t.In.(*PartitionWise); ok {
+			b.WriteString(" [partition-wise]")
+		}
+	}
 	if staticVec(n) {
 		b.WriteString(" [vec]")
 	}
@@ -32,16 +45,20 @@ func explainNode(b *strings.Builder, n Node, prefix, childPrefix string, par int
 		fmt.Fprintf(b, " [par=%d]", par)
 	}
 	b.WriteByte('\n')
-	childPar := par
-	if x, ok := n.(*Exchange); ok {
+	childPar, childPW := par, pw
+	switch x := n.(type) {
+	case *Exchange:
 		childPar = x.Workers
+	case *PartitionWise:
+		childPar = x.Workers
+		childPW = true
 	}
 	children := n.Children()
 	for i, c := range children {
 		if i == len(children)-1 {
-			explainNode(b, c, childPrefix+"└─ ", childPrefix+"   ", childPar)
+			explainNode(b, c, childPrefix+"└─ ", childPrefix+"   ", childPar, childPW)
 		} else {
-			explainNode(b, c, childPrefix+"├─ ", childPrefix+"│  ", childPar)
+			explainNode(b, c, childPrefix+"├─ ", childPrefix+"│  ", childPar, childPW)
 		}
 	}
 }
@@ -63,7 +80,11 @@ func (s *Scan) describe() string {
 	if s.SegN > 0 {
 		seg = fmt.Sprintf(" segments=%d skipped=%d", s.SegN, s.SegSkip)
 	}
-	return fmt.Sprintf("scan %s%s [est=%d%s]", bindingName(s.B), prunedNote(s.B), s.Est, seg)
+	part := ""
+	if s.PartN > 1 {
+		part = fmt.Sprintf(" partitions=%d pruned=%d", s.PartN, s.PartPruned)
+	}
+	return fmt.Sprintf("scan %s%s [est=%d%s%s]", bindingName(s.B), prunedNote(s.B), s.Est, part, seg)
 }
 
 func (s *IndexScan) describe() string {

@@ -480,6 +480,7 @@ func accessPath(sn *store.Snapshot, b Binding, pushed []sql.Expr, params []store
 		sc := &Scan{B: b, Est: ceilEst(pp.scanEst), rel: rel}
 		sc.Skips = zonePreds(b, pp.leftover)
 		sc.SegN, sc.SegSkip = segScanStats(sn, b, sc.Skips, params)
+		sc.PartN, sc.PartPruned = partScanStats(sn, b, sc.Skips, params)
 		node = sc
 	}
 

@@ -38,14 +38,18 @@ func (e *Exchange) Rel() *Rel        { return e.In.Rel() }
 func (e *Exchange) Children() []Node { return []Node{e.In} }
 
 // Parallelize rewrites a compiled plan for intra-query parallelism at
-// degree par: it inserts an Exchange over the streaming pipeline
-// segment (the operators between the projection boundary and the
-// leaves) partitioned on the probe-side leftmost base scan, and marks
-// the plan so Run sizes its worker pool. par <= 1, tiny inputs, and
+// degree par. Co-partitioned join pipelines (every leaf hash-
+// partitioned at one degree, every join keyed on the partition
+// columns) get a PartitionWise operator — whole partitions fan out,
+// joins build per-partition with no shared build side. Everything else
+// gets an Exchange over the streaming pipeline segment (the operators
+// between the projection boundary and the leaves) partitioned on the
+// probe-side leftmost base scan into morsels. Either way the plan is
+// marked so Run sizes its worker pool. par <= 1, tiny inputs, and
 // plans whose LIMIT streams without a Sort (where early exit beats
 // parallel materialization) are returned unchanged — ablation runs
 // with Parallelism 1 therefore execute exactly today's serial plans.
-func Parallelize(p *Plan, par int) *Plan {
+func Parallelize(sn *store.Snapshot, p *Plan, par int) *Plan {
 	if par <= 1 || p.Par > 1 {
 		return p
 	}
@@ -74,12 +78,15 @@ walk:
 
 	switch n := node.(type) {
 	case *Aggregate:
-		// The exchange goes below the aggregate (a pipeline breaker
-		// regardless of LIMIT): morsels produce partial row streams,
-		// the aggregate itself parallelizes its grouping and group
-		// evaluation with per-worker partial states.
+		// The parallel operator goes below the aggregate (a pipeline
+		// breaker regardless of LIMIT): workers produce partial row
+		// streams, the aggregate itself parallelizes its grouping and
+		// group evaluation with per-worker partial states.
 		if pipelineWork(n.In) >= minParallelRows {
-			if leaf := partitionLeaf(n.In); leaf != nil {
+			if deg, scans := partitionWise(sn, n.In, par); deg > 0 {
+				n.In = &PartitionWise{In: n.In, Workers: par, N: deg, scans: scans}
+				p.Par = par
+			} else if leaf := partitionLeaf(n.In); leaf != nil {
 				n.In = &Exchange{In: n.In, Workers: par, part: leaf}
 				p.Par = par
 			}
@@ -91,10 +98,14 @@ walk:
 			// first would do strictly more work.
 			return p
 		}
-		// The exchange goes above the projection so item evaluation
-		// parallelizes too; output rows merge in morsel order.
+		// The parallel operator goes above the projection so item
+		// evaluation parallelizes too; output rows merge in partition
+		// or morsel order.
 		if pipelineWork(n.In) >= minParallelRows {
-			if leaf := partitionLeaf(n.In); leaf != nil {
+			if deg, scans := partitionWise(sn, n.In, par); deg > 0 {
+				attach(&PartitionWise{In: n, Workers: par, N: deg, scans: scans})
+				p.Par = par
+			} else if leaf := partitionLeaf(n.In); leaf != nil {
 				attach(&Exchange{In: n, Workers: par, part: leaf})
 				p.Par = par
 			}
@@ -210,9 +221,11 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 
 	// Morsels adapt to the leaf: ~4 per worker for stealing slack, but
 	// never more — a small probe leaf driving heavy joins still splits,
-	// its downstream cost dwarfs the per-morsel iterator setup.
-	morsel := (len(rows) + workers*4 - 1) / (workers * 4)
-	nm := (len(rows) + morsel - 1) / morsel
+	// its downstream cost dwarfs the per-morsel iterator setup. A
+	// partitioned leaf cuts on partition boundaries, so workers claim
+	// whole partitions before splitting any one into smaller morsels.
+	spans := morselSpans(len(rows), workers, partBoundsFor(ctx, e.part, ids))
+	nm := len(spans)
 
 	outs := make([][]store.Row, nm)
 	var next atomic.Int64
@@ -234,10 +247,7 @@ func (e *Exchange) open(ctx *Ctx) (iter, error) {
 					failed.Store(true)
 					return
 				}
-				lo, hi := m*morsel, (m+1)*morsel
-				if hi > len(rows) {
-					hi = len(rows)
-				}
+				lo, hi := spans[m][0], spans[m][1]
 				wctx := *ctx
 				wctx.scratch = nil // never share key buffers across workers
 				mr := &morselRun{node: e.part, rows: rows[lo:hi], lo: lo, hi: hi}

@@ -150,7 +150,12 @@ type Scan struct {
 	// SegN/SegSkip are the segment count and skip count under the
 	// values the plan was compiled with, reported by Explain.
 	SegN, SegSkip int
-	rel           *Rel
+	// PartN/PartPruned are the table's partition count and the
+	// partitions the same predicates prune under the compile-time
+	// values, reported by Explain. Runtime opens re-derive pruning from
+	// their own parameters (see Scan.pruneParts).
+	PartN, PartPruned int
+	rel               *Rel
 }
 
 // IndexScan reads rows matching an indexed predicate: Eq via the hash
@@ -313,6 +318,8 @@ func (p *Plan) OperatorCounts() map[string]int {
 			counts["limit"]++
 		case *Exchange:
 			counts["exchange"]++
+		case *PartitionWise:
+			counts["partition-wise"]++
 		}
 	})
 	return counts

@@ -32,7 +32,7 @@ func fullyVec(root Node) bool {
 	all := true
 	Walk(root, func(n Node) {
 		switch n.(type) {
-		case *Distinct, *Sort, *Limit, *Exchange:
+		case *Distinct, *Sort, *Limit, *Exchange, *PartitionWise:
 		default:
 			if !staticVec(n) {
 				all = false
@@ -73,6 +73,8 @@ func staticVec(n Node) bool {
 		return staticVec(t.In)
 	case *Exchange:
 		return staticVec(t.In)
+	case *PartitionWise:
+		return staticVec(t.In)
 	}
 	return false
 }
@@ -111,6 +113,8 @@ func vecOpen(n Node, ctx *Ctx) (viter, error) {
 	case *Limit:
 		return t.vopen(ctx)
 	case *Exchange:
+		return t.vopen(ctx)
+	case *PartitionWise:
 		return t.vopen(ctx)
 	}
 	return nil, errUnknownTable("<not vectorizable>")
@@ -281,6 +285,16 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 	if tab == nil {
 		return nil, errUnknownTable(s.B.Meta.Name)
 	}
+	// A partition-wise worker reads exactly its claimed partition's
+	// stream: the partition view's own column vectors and segment set.
+	if pw := ctx.pw; pw != nil {
+		if _, ok := pw.scans[s]; ok {
+			tab = tab.Part(pw.pi)
+			if ctx.PartC != nil {
+				ctx.PartC.Scanned.Add(1)
+			}
+		}
+	}
 	if ctx.NoSeg {
 		cvs := retainedVecs(tab, s.B)
 		if mr := ctx.part; mr != nil && mr.node == Node(s) {
@@ -288,6 +302,13 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 				return gatherBatches(cvs, mr.ids), nil
 			}
 			return sliceBatches(cvs, mr.lo, mr.hi), nil
+		}
+		if ranges := s.pruneParts(ctx, tab); ranges != nil {
+			its := make([]viter, len(ranges))
+			for i, r := range ranges {
+				its[i] = sliceBatches(cvs, r[0], r[1])
+			}
+			return chainViters(its), nil
 		}
 		return sliceBatches(cvs, 0, tab.Len()), nil
 	}
@@ -300,6 +321,16 @@ func (s *Scan) vopen(ctx *Ctx) (viter, error) {
 			return segGatherBatches(ctx, ss, s.B, mr.ids), nil
 		}
 		return segScanBatches(ctx, ss, s.B, mr.lo, mr.hi, preds, skipAll), nil
+	}
+	// Partition boundaries are segment boundaries in the merged set, so
+	// a pruned partition's segments are never located, faulted or
+	// decoded — pruning happens strictly before any segment I/O.
+	if ranges := s.prunePartsBound(ctx, tab, preds, skipAll); ranges != nil {
+		its := make([]viter, len(ranges))
+		for i, r := range ranges {
+			its[i] = segScanBatches(ctx, ss, s.B, r[0], r[1], preds, skipAll)
+		}
+		return chainViters(its), nil
 	}
 	return segScanBatches(ctx, ss, s.B, 0, ss.N, preds, skipAll), nil
 }
@@ -1351,8 +1382,8 @@ func (e *Exchange) vopen(ctx *Ctx) (viter, error) {
 	if workers <= 1 {
 		return vecOpen(e.In, ctx)
 	}
-	morsel := (total + workers*4 - 1) / (workers * 4)
-	nm := (total + morsel - 1) / morsel
+	spans := morselSpans(total, workers, partBoundsFor(ctx, e.part, ids))
+	nm := len(spans)
 
 	outs := make([][]*vbatch, nm)
 	var next atomic.Int64
@@ -1374,10 +1405,7 @@ func (e *Exchange) vopen(ctx *Ctx) (viter, error) {
 					failed.Store(true)
 					return
 				}
-				lo, hi := m*morsel, (m+1)*morsel
-				if hi > total {
-					hi = total
-				}
+				lo, hi := spans[m][0], spans[m][1]
 				wctx := *ctx
 				wctx.scratch = nil
 				mr := &morselRun{node: e.part, rows: rows[lo:hi], lo: lo, hi: hi}

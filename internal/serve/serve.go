@@ -152,6 +152,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /api/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /api/interpret", s.handleInterpret)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	go s.janitor()
 	return s
@@ -397,6 +398,67 @@ func statusOf(ctx context.Context, err error) int {
 		// grammar, no interpretation over the schema, ...).
 		return http.StatusBadRequest
 	}
+}
+
+// statsResponse is the wire form of GET /api/stats: the engine's
+// cumulative cache and scan counters, for dashboards and the
+// experiment harnesses. All counters are monotonic since engine start
+// except the segment-cache gauges (used/budget bytes).
+type statsResponse struct {
+	AnswerCache cacheStatsJSON     `json:"answer_cache"`
+	PlanCache   cacheStatsJSON     `json:"plan_cache"`
+	Segments    scanStatsJSON      `json:"segments"`
+	Partitions  partStatsJSON      `json:"partitions"`
+	SegCache    *segCacheStatsJSON `json:"segment_cache,omitempty"` // absent without a spill dir
+	Sessions    sessionStatsJSON   `json:"sessions"`
+}
+
+type cacheStatsJSON struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type scanStatsJSON struct {
+	Scanned int64 `json:"scanned"`
+	Skipped int64 `json:"skipped"`
+}
+
+type partStatsJSON struct {
+	Scanned int64 `json:"scanned"`
+	Pruned  int64 `json:"pruned"`
+}
+
+type segCacheStatsJSON struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	FaultBytes int64 `json:"fault_bytes"`
+	Spilled    int64 `json:"spilled_segments"`
+	UsedBytes  int64 `json:"used_bytes"`
+	Budget     int64 `json:"budget_bytes"`
+}
+
+type sessionStatsJSON struct {
+	Live    int    `json:"live"`
+	Evicted uint64 `json:"evicted"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var resp statsResponse
+	resp.AnswerCache.Hits, resp.AnswerCache.Misses = s.eng.AnswerCacheStats()
+	resp.PlanCache.Hits, resp.PlanCache.Misses = s.eng.PlanCacheStats()
+	resp.Segments.Scanned, resp.Segments.Skipped = s.eng.SegmentStats()
+	resp.Partitions.Scanned, resp.Partitions.Pruned = s.eng.PartitionStats()
+	if sc := s.eng.DB.SegCache(); sc != nil {
+		st := sc.Stats()
+		resp.SegCache = &segCacheStatsJSON{
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			FaultBytes: st.FaultBytes, Spilled: st.SpilledSegs,
+			UsedBytes: st.Used, Budget: st.Budget,
+		}
+	}
+	resp.Sessions.Live, resp.Sessions.Evicted = s.sessions.stats()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -16,12 +16,19 @@ import (
 // on Table itself each pin the current version, so two successive
 // calls may observe different versions; queries that need a mutually
 // consistent view must go through one TableSnap/Snapshot.
+//
+// A table is one or more partition streams (see partition.go). Writers
+// to one partition serialize on that partition's lock and do all their
+// copy-on-write work under it; pubMu is held only for the final
+// partSet swap, so concurrent loaders into different partitions
+// overlap everywhere except the pointer publish itself.
 type Table struct {
 	Meta   *schema.Table
 	colIdx map[string]int
 
-	wmu  sync.Mutex                // serializes writers to this table
-	data atomic.Pointer[tableData] // current published version
+	pubMu  sync.Mutex              // serializes partSet publication only
+	pset   atomic.Pointer[partSet] // current published partition set
+	ticket atomic.Uint64           // rotates partition publish order across loaders
 
 	// spill, when set (DB.EnableSpill), is the segment cache that
 	// adopts this table's sealed segments: serialized write-once to
@@ -38,7 +45,8 @@ func NewTable(meta *schema.Table) *Table {
 	for i, c := range meta.Columns {
 		t.colIdx[c.Name] = i
 	}
-	t.data.Store(&tableData{caches: &dataCaches{}})
+	layout := &partLayout{scheme: PartScheme{Kind: PartNone, N: 1}, locks: make([]sync.Mutex, 1)}
+	t.pset.Store(newPartSet(layout, []*tableData{{caches: &dataCaches{}}}, 0))
 	return t
 }
 
@@ -52,10 +60,14 @@ func (t *Table) ColIndex(name string) int {
 
 // Version returns the table's current data version: a per-table
 // monotonic counter bumped by every row mutation (and only by row
-// mutations — index DDL leaves it unchanged). Equal versions imply
-// equal contents, the invalidation token for caches keyed on this
-// table's data.
-func (t *Table) Version() uint64 { return t.data.Load().version }
+// mutations — index DDL leaves it unchanged; repartitioning bumps it,
+// since the canonical row order changes). Equal versions imply equal
+// contents, the invalidation token for caches keyed on this table's
+// data.
+func (t *Table) Version() uint64 { return t.pset.Load().version }
+
+// PartScheme returns the table's current partitioning scheme.
+func (t *Table) PartScheme() PartScheme { return t.pset.Load().layout.scheme }
 
 // Len returns the current row count.
 func (t *Table) Len() int { return t.Snap().Len() }
@@ -238,18 +250,23 @@ func (t *Table) Segments() *SegSet { return t.Snap().Segments() }
 // version does not move. Intended for tests and experiments that need
 // small segments or boundary-straddling row counts.
 func (t *Table) SetSegmentRows(n int) {
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
-	cur := t.data.Load()
-	next := &tableData{
-		rows:    cur.rows,
-		hash:    cur.hash,
-		ord:     cur.ord,
-		version: cur.version,
-		segRows: n,
-		caches:  &dataCaches{},
+	layout := t.lockAll()
+	defer unlockAll(layout)
+	ps := t.pset.Load()
+	datas := make([]*tableData, len(ps.datas))
+	for i, cur := range ps.datas {
+		datas[i] = &tableData{
+			rows:    cur.rows,
+			hash:    cur.hash,
+			ord:     cur.ord,
+			version: cur.version,
+			segRows: n,
+			caches:  &dataCaches{},
+		}
 	}
-	t.data.Store(next)
+	t.pubMu.Lock()
+	t.pset.Store(newPartSet(layout, datas, ps.version))
+	t.pubMu.Unlock()
 }
 
 // DropIndex removes the hash and ordered indexes on the named column,
@@ -333,6 +350,16 @@ func (db *DB) BulkInsert(table string, rows []Row) error {
 		return fmt.Errorf("store: unknown table %s", table)
 	}
 	return t.BulkInsert(rows)
+}
+
+// PartitionTable reshapes the named table into the given scheme's
+// partition streams (see Table.Partition).
+func (db *DB) PartitionTable(name string, scheme PartScheme) error {
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("store: unknown table %s", name)
+	}
+	return t.Partition(scheme)
 }
 
 // MustBulkInsert is BulkInsert panicking on error, for dataset
